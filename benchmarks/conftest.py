@@ -1,0 +1,31 @@
+"""Shared state for the benchmark harness.
+
+A single :class:`~repro.experiments.runner.ExperimentRunner` is shared by
+every benchmark so that traces, profiles and already-simulated configurations
+are reused across figures (exactly like a real evaluation campaign would).
+
+Set the environment variable ``REPRO_FULL_EVAL=1`` to run every workload of
+every suite with longer windows (slower, closer to the paper's setup);
+the default "quick" mode uses a representative subset so the whole harness
+completes in a few minutes.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+def _full_mode_requested() -> bool:
+    return os.environ.get("REPRO_FULL_EVAL", "0") not in ("0", "", "false", "no")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(quick=not _full_mode_requested())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

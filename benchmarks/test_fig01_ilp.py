@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 1 (implicit parallelism, ideal vs real supply)."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_ilp
+
+
+def test_fig01_implicit_parallelism(benchmark, runner):
+    result = run_once(benchmark, fig01_ilp.run, runner)
+    print("\n" + result.render())
+    # Paper shape: ideal parallelism well above realistic (≈5x on average),
+    # and larger windows never reduce the ideal parallelism.
+    for window in fig01_ilp.WINDOWS:
+        assert result.geomean_ratio[window] > 1.5
+    for row in result.rows:
+        assert row["ideal:2048"] >= row["ideal:128"] * 0.95
+        assert row["real:128"] <= row["ideal:128"] + 1e-9

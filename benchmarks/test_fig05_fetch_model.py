@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 5 (analytic fetch-buffer model)."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_fetch_model
+
+
+def test_fig05_fetch_buffer_model(benchmark, runner):
+    result = run_once(benchmark, fig05_fetch_model.run, runner)
+    print("\n" + result.render())
+    icache = result.bubble_curves["icache"]
+    trace = result.bubble_curves["trace_cache"]
+    # Paper shape: expected bubbles fall as capacity grows...
+    assert icache[32] <= icache[8] + 1e-9
+    # ...and a trace cache adds little once the buffer is large.
+    assert abs(trace[32] - icache[32]) <= max(0.25, 0.5 * icache[8])
+    # Larger capacity lowers the probability of an empty queue.
+    assert result.queue_distributions["icache_cap32"][0] <= (
+        result.queue_distributions["icache_cap8"][0] + 1e-9
+    )

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 9-a and 9-b (overall speedups and related work)."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_speedup
+
+
+def test_fig09_overall_speedup(benchmark, runner):
+    result = run_once(benchmark, fig09_speedup.run, runner)
+    print("\n" + result.render())
+    table = result.table
+    dla = table.suite_geomean("DLA")
+    r3 = table.suite_geomean("R3-DLA")
+    bl_nopf = table.suite_geomean("BL (noPF)")
+    dla_nopf = table.suite_geomean("DLA (noPF)")
+    # Paper shape (Fig. 9-a): R3-DLA >= DLA > BL; removing the prefetcher
+    # hurts the baseline more than it hurts the DLA systems.
+    assert r3 >= dla * 0.98
+    assert dla > 1.0
+    assert r3 > 1.05
+    assert bl_nopf < 1.0
+    assert dla_nopf >= bl_nopf
+
+    # Fig. 9-b: the DLA systems sit at or above the related approaches.
+    related = result.related
+    assert related.suite_geomean("R3-DLA") >= related.suite_geomean("B-Fetch") * 0.98
+    assert related.suite_geomean("R3-DLA") >= related.suite_geomean("S-Stream") * 0.98
+    assert related.suite_geomean("CRE") > 0.8

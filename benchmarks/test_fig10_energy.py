@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 10 (CPU and DRAM energy vs baseline)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_energy
+
+
+def test_fig10_energy(benchmark, runner):
+    result = run_once(benchmark, fig10_energy.run, runner)
+    print("\n" + result.render())
+    overall = next(row for row in result.rows if row["suite"] == "all")
+    # Paper shape: running a second (lean) thread costs extra CPU energy but
+    # much less than 2x, and DRAM energy does not blow up (the paper reports
+    # a reduction; we accept parity as the substrate differs).
+    for config in ("DLA cpu", "R3-DLA cpu"):
+        assert 1.0 < overall[config] < 1.9
+    for config in ("DLA dram", "R3-DLA dram"):
+        assert 0.5 < overall[config] < 1.3

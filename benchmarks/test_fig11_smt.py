@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 11 (SMT-core usage scenarios)."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_smt
+
+
+def test_fig11_smt_modes(benchmark, runner):
+    result = run_once(benchmark, fig11_smt.run, runner)
+    print("\n" + result.render())
+    geomean = result.geomean
+    # Paper shape: every scenario is at least as good as one half-core;
+    # R3-DLA on two half-cores beats plain DLA on average; the two-copy SMT
+    # throughput reference tops the single-thread options.
+    assert geomean["FC"] >= 0.95
+    assert geomean["R3-DLA"] >= geomean["DLA"] * 0.98
+    assert geomean["SMT"] >= max(geomean["FC"], geomean["DLA"]) * 0.9

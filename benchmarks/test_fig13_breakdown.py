@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 13 (fetch buffer, recycle tuning, synergy)."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_breakdown
+
+
+def test_fig13_optimization_breakdown(benchmark, runner):
+    result = run_once(benchmark, fig13_breakdown.run, runner)
+    print("\n" + result.render())
+
+    fb = {row["configuration"]: row for row in result.fetch_buffer_rows}
+    # Paper shape (13-a): the fetch buffer helps a BOQ-driven DLA front end at
+    # least as much as it helps a conventional baseline, and never hurts DLA.
+    assert fb["FB over DLA"]["geomean"] >= fb["FB over BL"]["geomean"] * 0.98
+    assert fb["FB over DLA"]["min"] >= 0.97
+
+    if result.recycle_rows:
+        recycle = {row["configuration"]: row for row in result.recycle_rows}
+        # Paper shape (13-b): static (training-input) tuning is at least as
+        # good as dynamic tuning, which pays for exploring bad versions.
+        assert recycle["Static"]["geomean"] >= recycle["Dynamic"]["geomean"] * 0.98
+
+    # Paper shape (13-c): a technique applied last (on top of the others)
+    # contributes at least as much as when applied first, for most techniques.
+    at_least_as_good = sum(
+        1 for row in result.synergy_rows if row["last"] >= row["first"] * 0.97
+    )
+    assert at_least_as_good >= 2

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 14 (analytic vs simulated queue-length distribution)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_queue_validation
+
+
+def test_fig14_model_validation(benchmark, runner):
+    result = run_once(benchmark, fig14_queue_validation.run, runner)
+    print("\n" + result.render())
+    # Both are probability distributions over the same support...
+    assert abs(sum(result.theoretical) - 1.0) < 1e-6
+    assert abs(sum(result.simulated) - 1.0) < 1e-6
+    # ...and the model follows the general trend of the simulation (the
+    # paper's claim); a loose per-bin error bound captures that.
+    assert result.mean_absolute_error < 0.08

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 15 (distribution of skeleton versions chosen)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_recycle_dist
+
+
+def test_fig15_recycle_distribution(benchmark, runner):
+    result = run_once(benchmark, fig15_recycle_dist.run, runner)
+    print("\n" + result.render())
+    assert result.distributions
+    for workload, distribution in result.distributions.items():
+        total = sum(distribution.values())
+        assert abs(total - 1.0) < 1e-6, f"{workload} fractions must sum to 1"
+        assert all(fraction >= 0 for fraction in distribution.values())
+    # Paper shape: the chosen version is not the same everywhere — different
+    # programs/loops prefer different skeletons.
+    chosen_versions = {
+        max(dist, key=dist.get) for dist in result.distributions.values() if dist
+    }
+    assert len(result.version_names) == 6
+    assert len(chosen_versions) >= 1

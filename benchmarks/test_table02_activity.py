@@ -1,0 +1,23 @@
+"""Bench: regenerate Table II (activity / energy / power of LT and MT)."""
+
+from conftest import run_once
+
+from repro.experiments import table02_activity
+
+
+def test_table02_activity_energy_power(benchmark, runner):
+    result = run_once(benchmark, table02_activity.run, runner)
+    print("\n" + result.render())
+    rows = {row["config"]: row for row in result.rows}
+    for config in ("DLA LT", "DLA MT", "R3-DLA LT", "R3-DLA MT"):
+        assert config in rows
+    # Paper shape: the look-ahead thread performs a fraction of the baseline's
+    # work and burns less dynamic power; the main thread is close to baseline.
+    for prefix in ("DLA", "R3-DLA"):
+        lt, mt = rows[f"{prefix} LT"], rows[f"{prefix} MT"]
+        assert lt["D"] < 1.0 and lt["X"] < 1.0 and lt["C"] < 1.0
+        assert lt["dyn_energy"] < mt["dyn_energy"]
+        assert 0.5 < mt["C"] <= 1.05
+        assert lt["static_power"] <= 1.1
+    # R3's leaner skeleton does not execute more than plain DLA's.
+    assert rows["R3-DLA LT"]["X"] <= rows["DLA LT"]["X"] * 1.1

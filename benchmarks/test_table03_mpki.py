@@ -1,0 +1,22 @@
+"""Bench: regenerate Table III (strided vs other L1 MPKI across mechanisms)."""
+
+from conftest import run_once
+
+from repro.experiments import table03_mpki
+
+
+def test_table03_strided_mpki(benchmark, runner):
+    result = run_once(benchmark, table03_mpki.run, runner)
+    print("\n" + result.render())
+    rows = {(row["accesses"], row["config"]): row["mean"] for row in result.rows}
+    # Paper shape: every mechanism reduces strided MPKI relative to the plain
+    # baseline, and offloading (DLA+T1) covers strided misses better than
+    # plain DLA.  (The paper additionally finds T1 below BL+stride; our
+    # synthetic streams are perfectly regular, which lets the tuned stride
+    # prefetcher reach near-zero strided MPKI, so that comparison is not
+    # asserted strictly.)
+    assert rows[("strided", "DLA+T1")] <= rows[("strided", "BL")] + 1e-9
+    assert rows[("strided", "DLA+T1")] <= rows[("strided", "DLA")] + 1e-9
+    assert rows[("strided", "BL+stride")] <= rows[("strided", "BL")] + 1e-9
+    # Non-strided misses are not made worse by offloading.
+    assert rows[("other", "DLA+T1")] <= rows[("other", "BL")] * 1.2

@@ -1,0 +1,50 @@
+"""repro — a reproduction of R3-DLA (HPCA 2019) in pure Python.
+
+The package implements a decoupled look-ahead (DLA) architecture simulator
+together with the four R3 optimizations described in the paper (T1 strided
+prefetch offloading, value reuse, BOQ-driven fetch buffering, and skeleton
+recycling), the substrates they need (a small ISA and functional emulator,
+synthetic workload suites, a cache/DRAM hierarchy, branch predictors,
+hardware prefetchers, an out-of-order core timing model, an energy model),
+and the related-work comparators used in the paper's evaluation.
+
+Typical usage::
+
+    from repro.workloads import get_workload
+    from repro.core import simulate_baseline
+    from repro.dla import DlaSystem, DlaConfig, profile_workload
+
+    workload = get_workload("mcf")
+    program = workload.build_program()
+    trace = workload.trace(30_000)
+    profile = profile_workload(program, trace)
+
+    baseline = simulate_baseline(trace)
+    r3 = DlaSystem(program, dla_config=DlaConfig().r3(), profile=profile)
+    outcome = r3.simulate(trace)
+    print(baseline.cycles / outcome.cycles)       # speedup of R3-DLA
+"""
+
+from repro.core.config import CoreConfig, SystemConfig
+from repro.core.system import SimulationOutcome, simulate_baseline
+from repro.dla.config import DlaConfig
+from repro.dla.system import DlaOutcome, DlaSystem
+from repro.dla.profiling import profile_workload
+from repro.workloads.suites import all_workloads, get_workload, suite_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "SystemConfig",
+    "SimulationOutcome",
+    "simulate_baseline",
+    "DlaConfig",
+    "DlaSystem",
+    "DlaOutcome",
+    "profile_workload",
+    "get_workload",
+    "all_workloads",
+    "suite_workloads",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analysis utilities: limit studies, metrics aggregation and text rendering."""
+
+from repro.analysis.ilp import IlpResult, measure_implicit_parallelism
+from repro.analysis.metrics import SpeedupTable, mpki, suite_summary
+from repro.analysis.reporting import format_bar_chart, format_table
+
+__all__ = [
+    "IlpResult",
+    "measure_implicit_parallelism",
+    "SpeedupTable",
+    "mpki",
+    "suite_summary",
+    "format_table",
+    "format_bar_chart",
+]

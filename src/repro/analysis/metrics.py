@@ -1,0 +1,90 @@
+"""Metric aggregation helpers shared by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.util.stats_math import geometric_mean, value_range
+
+
+def mpki(events: int, committed: int) -> float:
+    """Misses (or any event count) per kilo committed instructions."""
+    if committed <= 0:
+        return 0.0
+    return 1000.0 * events / committed
+
+
+@dataclass
+class SpeedupTable:
+    """Per-workload metric values for several configurations.
+
+    ``data[config][workload] = value``.  The table renders the paper's usual
+    summary: per-suite geometric mean plus min/max whiskers.
+    """
+
+    data: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: workload name -> suite name, for per-suite aggregation.
+    suites: Dict[str, str] = field(default_factory=dict)
+
+    def record(self, config: str, workload: str, value: float, suite: str = "all") -> None:
+        self.data.setdefault(config, {})[workload] = value
+        self.suites[workload] = suite
+
+    def configurations(self) -> List[str]:
+        return list(self.data.keys())
+
+    def workloads(self) -> List[str]:
+        names: List[str] = []
+        for values in self.data.values():
+            for workload in values:
+                if workload not in names:
+                    names.append(workload)
+        return names
+
+    def suite_geomean(self, config: str, suite: str = None) -> float:
+        values = [
+            value
+            for workload, value in self.data[config].items()
+            if suite is None or self.suites.get(workload) == suite
+        ]
+        return geometric_mean(values)
+
+    def suite_range(self, config: str, suite: str = None):
+        values = [
+            value
+            for workload, value in self.data[config].items()
+            if suite is None or self.suites.get(workload) == suite
+        ]
+        return value_range(values)
+
+    def summary_rows(self, suites: Sequence[str]) -> List[Dict[str, object]]:
+        """One row per (suite x configuration) with geomean/min/max."""
+        rows: List[Dict[str, object]] = []
+        for suite in list(suites) + [None]:
+            for config in self.configurations():
+                try:
+                    mean = self.suite_geomean(config, suite)
+                    low, high = self.suite_range(config, suite)
+                except (ValueError, KeyError):
+                    continue
+                rows.append(
+                    {
+                        "suite": suite or "all",
+                        "configuration": config,
+                        "geomean": mean,
+                        "min": low,
+                        "max": high,
+                    }
+                )
+        return rows
+
+
+def suite_summary(values: Mapping[str, float], suites: Mapping[str, str]) -> Dict[str, float]:
+    """Geometric mean of ``values`` per suite (plus an ``all`` entry)."""
+    grouped: Dict[str, List[float]] = {}
+    for workload, value in values.items():
+        grouped.setdefault(suites.get(workload, "all"), []).append(value)
+    summary = {suite: geometric_mean(vals) for suite, vals in grouped.items()}
+    summary["all"] = geometric_mean(list(values.values()))
+    return summary

@@ -1,0 +1,33 @@
+"""Related-work comparators used in Fig. 9-b of the paper.
+
+Three prior approaches are modelled on the same timing substrate as DLA:
+
+* **B-Fetch** (Kadjo et al., MICRO 2014) — branch-prediction-directed
+  prefetching: the front end speculatively walks the predicted control flow
+  ahead of execution and prefetches the data that straight-forwardly
+  addressable loads along that path will touch.
+* **SlipStream** (Purser et al., ASPLOS 2000) — a leading "A-stream" from
+  which predicted-dead instructions and biased branches have been removed
+  runs ahead of the trailing "R-stream" and passes outcomes forward.
+* **CRE — Continuous Runahead Engine** (Hashemi et al., MICRO 2016) — slices
+  of the dependence chains leading to off-chip loads are executed
+  continuously on a small engine at the memory controller, prefetching for
+  the core (modified, as in the paper, to prefetch into L1).
+
+Each model reuses the out-of-order core, cache hierarchy and (where relevant)
+the skeleton/backward-slice machinery, so the comparison isolates the
+*mechanism* differences rather than simulator differences.
+"""
+
+from repro.baselines.bfetch import BFetchConfig, simulate_bfetch
+from repro.baselines.slipstream import SlipstreamConfig, simulate_slipstream
+from repro.baselines.runahead import ContinuousRunaheadConfig, simulate_cre
+
+__all__ = [
+    "BFetchConfig",
+    "simulate_bfetch",
+    "SlipstreamConfig",
+    "simulate_slipstream",
+    "ContinuousRunaheadConfig",
+    "simulate_cre",
+]

@@ -1,0 +1,64 @@
+"""Branch Target Buffer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class _BtbEntry:
+    target: int
+    last_use: int = 0
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB mapping branch PCs to predicted targets.
+
+    The look-ahead thread sends indirect-branch target hints through the
+    footnote queue; the main core uses those in place of its own BTB lookup
+    when available (Sec. III-A), which is modelled by the DLA front-end, not
+    here.  This class is the conventional structure both cores contain.
+    """
+
+    def __init__(self, entries: int = 4096, associativity: int = 4) -> None:
+        if entries % associativity != 0:
+            raise ValueError("entries must be divisible by associativity")
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        self._sets: list[Dict[int, _BtbEntry]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_and_tag(self, pc: int) -> tuple[int, int]:
+        return pc % self.num_sets, pc // self.num_sets
+
+    def lookup(self, pc: int, now: int = 0) -> Optional[int]:
+        """Predicted target for a control instruction at ``pc`` (or ``None``)."""
+        index, tag = self._set_and_tag(pc)
+        entry = self._sets[index].get(tag)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.last_use = now
+        return entry.target
+
+    def update(self, pc: int, target: int, now: int = 0) -> None:
+        """Record the resolved target of a taken control instruction."""
+        index, tag = self._set_and_tag(pc)
+        btb_set = self._sets[index]
+        if tag not in btb_set and len(btb_set) >= self.associativity:
+            victim = min(btb_set, key=lambda t: btb_set[t].last_use)
+            del btb_set[victim]
+        btb_set[tag] = _BtbEntry(target=target, last_use=now)
+
+    def contains(self, pc: int) -> bool:
+        index, tag = self._set_and_tag(pc)
+        return tag in self._sets[index]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,219 @@
+"""Branch direction predictors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class DirectionPredictor:
+    """Interface: predict a conditional branch's direction, then train on it."""
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear all state."""
+        raise NotImplementedError
+
+
+def _saturate(counter: int, taken: bool, max_value: int) -> int:
+    if taken:
+        return min(counter + 1, max_value)
+    return max(counter - 1, 0)
+
+
+class BimodalPredictor(DirectionPredictor):
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        self.entries = entries
+        self.max_value = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self._table = [self.threshold] * entries
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= self.threshold
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        self._table[idx] = _saturate(self._table[idx], taken, self.max_value)
+
+    def reset(self) -> None:
+        self._table = [self.threshold] * self.entries
+
+
+class GsharePredictor(DirectionPredictor):
+    """Global-history XOR PC indexed 2-bit counters."""
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12) -> None:
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history = 0
+        self._table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        self._table[idx] = _saturate(self._table[idx], taken, 3)
+        self._history = ((self._history << 1) | int(taken)) & ((1 << self.history_bits) - 1)
+
+    def reset(self) -> None:
+        self._history = 0
+        self._table = [2] * self.entries
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Alpha-21264-style chooser between a local (bimodal) and global predictor."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
+        self.local = BimodalPredictor(entries)
+        self.global_ = GsharePredictor(entries, history_bits)
+        self.entries = entries
+        self._chooser = [2] * entries   # >= 2 chooses the global predictor
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[pc % self.entries] >= 2:
+            return self.global_.predict(pc)
+        return self.local.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        local_correct = self.local.predict(pc) == taken
+        global_correct = self.global_.predict(pc) == taken
+        idx = pc % self.entries
+        if global_correct and not local_correct:
+            self._chooser[idx] = min(self._chooser[idx] + 1, 3)
+        elif local_correct and not global_correct:
+            self._chooser[idx] = max(self._chooser[idx] - 1, 0)
+        self.local.update(pc, taken)
+        self.global_.update(pc, taken)
+
+    def reset(self) -> None:
+        self.local.reset()
+        self.global_.reset()
+        self._chooser = [2] * self.entries
+
+
+@dataclass
+class _TageEntry:
+    tag: int
+    counter: int      # signed: >= 0 predicts taken
+    useful: int
+
+
+class TageLitePredictor(DirectionPredictor):
+    """A compact TAGE: bimodal base plus tagged tables with geometric histories.
+
+    This keeps the parts of TAGE that give it its accuracy — longest-matching
+    tagged component wins, new entries allocated on mispredictions with short
+    histories preferred, usefulness counters guarding replacement — while
+    dropping the statistical corrector and loop predictor of full TAGE-SC-L.
+    """
+
+    def __init__(self, num_tables: int = 4, table_entries: int = 1024,
+                 min_history: int = 4, max_history: int = 64,
+                 tag_bits: int = 11) -> None:
+        self.base = BimodalPredictor(8192)
+        self.num_tables = num_tables
+        self.table_entries = table_entries
+        self.tag_mask = (1 << tag_bits) - 1
+        # Geometric history lengths between min and max.
+        self.history_lengths = []
+        for i in range(num_tables):
+            ratio = (max_history / min_history) ** (i / max(1, num_tables - 1))
+            self.history_lengths.append(int(round(min_history * ratio)))
+        self._tables: List[Dict[int, _TageEntry]] = [dict() for _ in range(num_tables)]
+        self._history = 0
+        self._last_provider: Optional[int] = None
+        self._last_index: Optional[int] = None
+
+    # -- hashing -----------------------------------------------------------
+    def _fold(self, value: int, bits: int) -> int:
+        folded = 0
+        while value:
+            folded ^= value & ((1 << bits) - 1)
+            value >>= bits
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        hist = self._history & ((1 << self.history_lengths[table]) - 1)
+        return (pc ^ self._fold(hist, 10) ^ (table * 0x9E37)) % self.table_entries
+
+    def _tag(self, pc: int, table: int) -> int:
+        hist = self._history & ((1 << self.history_lengths[table]) - 1)
+        return (pc ^ (pc >> 5) ^ self._fold(hist, 7) ^ (table * 0x1F3)) & self.tag_mask
+
+    # -- prediction ---------------------------------------------------------
+    def _find_provider(self, pc: int) -> Optional[int]:
+        for table in reversed(range(self.num_tables)):
+            entry = self._tables[table].get(self._index(pc, table))
+            if entry is not None and entry.tag == self._tag(pc, table):
+                return table
+        return None
+
+    def predict(self, pc: int) -> bool:
+        provider = self._find_provider(pc)
+        if provider is None:
+            return self.base.predict(pc)
+        entry = self._tables[provider][self._index(pc, provider)]
+        return entry.counter >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        provider = self._find_provider(pc)
+        predicted = self.predict(pc)
+        if provider is not None:
+            index = self._index(pc, provider)
+            entry = self._tables[provider][index]
+            entry.counter = max(-4, min(3, entry.counter + (1 if taken else -1)))
+            if predicted == taken:
+                entry.useful = min(entry.useful + 1, 3)
+            else:
+                entry.useful = max(entry.useful - 1, 0)
+        self.base.update(pc, taken)
+
+        # Allocate a longer-history entry on a misprediction.
+        if predicted != taken:
+            start = (provider + 1) if provider is not None else 0
+            for table in range(start, self.num_tables):
+                index = self._index(pc, table)
+                existing = self._tables[table].get(index)
+                if existing is None or existing.useful == 0:
+                    self._tables[table][index] = _TageEntry(
+                        tag=self._tag(pc, table),
+                        counter=0 if taken else -1,
+                        useful=0,
+                    )
+                    break
+
+        self._history = ((self._history << 1) | int(taken)) & ((1 << 64) - 1)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._tables = [dict() for _ in range(self.num_tables)]
+        self._history = 0
+
+
+_PREDICTORS = {
+    "bimodal": BimodalPredictor,
+    "gshare": GsharePredictor,
+    "tournament": TournamentPredictor,
+    "tage": TageLitePredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> DirectionPredictor:
+    """Instantiate a direction predictor by name."""
+    if name not in _PREDICTORS:
+        raise KeyError(f"unknown predictor {name!r}; known: {sorted(_PREDICTORS)}")
+    return _PREDICTORS[name](**kwargs)

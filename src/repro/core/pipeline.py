@@ -1,0 +1,469 @@
+"""The out-of-order core timing model.
+
+The model walks the committed dynamic trace in program order and assigns each
+instruction fetch / dispatch / issue / complete / commit timestamps subject to
+the machine's structural and dataflow constraints.  Because the trace already
+contains only committed (right-path) instructions, wrong-path work is modelled
+separately: each misprediction charges front-end refill time and injects a
+bounded amount of wrong-path cache pollution.
+
+Hook points (see :class:`CoreHooks`) let the DLA machinery replace the branch
+predictor with the Branch Outcome Queue, supply value predictions from the
+look-ahead thread, observe commits (to produce hints), and install just-in-time
+prefetches — without the baseline model knowing anything about DLA.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.predictors import make_predictor
+from repro.branch.ras import ReturnAddressStack
+from repro.core.config import CoreConfig
+from repro.core.results import CoreResult, InstructionTiming
+from repro.emulator.trace import DynamicInst
+from repro.isa.instructions import INSTRUCTION_BYTES, OpClass, Opcode
+from repro.memory.hierarchy import AccessType, CoreMemorySystem
+from repro.prefetch.base import Prefetcher
+
+
+@dataclass
+class BranchHint:
+    """A branch-direction hint delivered through the BOQ."""
+
+    #: Cycle at which the hint can be consumed by the main thread's fetch.
+    available: float
+    #: Whether the hinted direction matches the architectural outcome.
+    correct: bool = True
+    #: Whether a target hint accompanies the direction (footnote entry),
+    #: suppressing BTB-miss bubbles.
+    has_target: bool = True
+
+
+@dataclass
+class ValueHint:
+    """A value prediction delivered through the footnote queue."""
+
+    available: float
+    correct: bool = True
+    #: True when validation can be skipped entirely (all sources predicted).
+    skip_validation: bool = False
+
+
+@dataclass
+class CoreHooks:
+    """Optional callbacks that extend the core for DLA-style experiments."""
+
+    #: Called per conditional branch; returning a hint bypasses the predictor.
+    branch_hint: Optional[Callable[[DynamicInst], Optional[BranchHint]]] = None
+    #: Called per instruction; returning a hint enables value reuse for it.
+    value_hint: Optional[Callable[[DynamicInst], Optional[ValueHint]]] = None
+    #: Called after each instruction commits.
+    on_commit: Optional[Callable[[DynamicInst, float], None]] = None
+    #: Called when an instruction is fetched (before its memory access).
+    on_fetch: Optional[Callable[[DynamicInst, float], None]] = None
+    #: Called when a BOQ hint turns out wrong; receives (inst, resolve_cycle).
+    on_hint_mispredict: Optional[Callable[[DynamicInst, float], None]] = None
+    #: Called after every data-memory access with (inst, access_result, cycle).
+    on_memory_access: Optional[Callable[[DynamicInst, object, float], None]] = None
+
+
+class _FunctionalUnitPool:
+    """Earliest-available scheduling over a small pool of identical units."""
+
+    def __init__(self, count: int) -> None:
+        self._free_at = [0.0] * max(1, count)
+
+    def reserve(self, earliest: float, busy_for: float) -> float:
+        index = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(earliest, self._free_at[index])
+        self._free_at[index] = start + busy_for
+        return start
+
+
+_FP_CLASSES = (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV)
+_MEM_CLASSES = (OpClass.LOAD, OpClass.STORE)
+
+
+class OutOfOrderCore:
+    """Timing model of one out-of-order core."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        memory: CoreMemorySystem,
+        l1_prefetcher: Optional[Prefetcher] = None,
+        l2_prefetcher: Optional[Prefetcher] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.name = name or config.name
+        self.l1_prefetcher = l1_prefetcher
+        self.l2_prefetcher = l2_prefetcher
+        self.predictor = make_predictor(config.branch_predictor)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self._block_bytes = memory.config.l1i.block_bytes
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        entries: Sequence[DynamicInst],
+        hooks: Optional[CoreHooks] = None,
+        start_cycle: float = 0.0,
+        collect_timings: bool = False,
+    ) -> CoreResult:
+        """Simulate ``entries`` and return aggregate statistics.
+
+        ``start_cycle`` offsets the whole execution, which the DLA system uses
+        when restarting a look-ahead thread after a reboot.
+        """
+        cfg = self.config
+        hooks = hooks or CoreHooks()
+        result = CoreResult(name=self.name)
+        n = len(entries)
+        if n == 0:
+            return result
+
+        fetch_times: List[float] = [0.0] * n
+        dispatch_times: List[float] = [0.0] * n
+        commit_times: List[float] = [0.0] * n
+
+        timings: List[InstructionTiming] = [] if collect_timings else None
+
+        reg_ready: Dict[int, float] = {}
+        int_pool = _FunctionalUnitPool(cfg.num_int_alus)
+        mem_pool = _FunctionalUnitPool(cfg.num_mem_ports)
+        fp_pool = _FunctionalUnitPool(cfg.num_fp_units)
+
+        fetch_cursor = start_cycle            # earliest cycle fetch may use
+        fetch_redirect_at = start_cycle       # earliest fetch after a redirect
+        prev_dispatch = start_cycle
+        prev_commit = start_cycle
+        current_block = None
+        block_ready = start_cycle
+
+        mem_indices: List[int] = []           # trace indices of memory ops (LSQ)
+        recent_load_addresses: List[int] = [] # for wrong-path pollution
+        fetch_inc = 1.0 / cfg.fetch_width
+        dispatch_inc = 1.0 / cfg.decode_width
+        commit_inc = 1.0 / cfg.commit_width
+
+        fetch_bound = 0
+
+        for i, entry in enumerate(entries):
+            static = entry.static
+
+            # ---------------- fetch ----------------
+            fetch_time = max(fetch_cursor, fetch_redirect_at)
+
+            # Fetch-buffer decoupling: fetch may run at most
+            # ``fetch_buffer_entries`` instructions ahead of dispatch.
+            if i >= cfg.fetch_buffer_entries:
+                fetch_time = max(fetch_time, dispatch_times[i - cfg.fetch_buffer_entries])
+
+            # I-cache: a new block has to be fetched from the memory system.
+            block = (static.pc * INSTRUCTION_BYTES) // self._block_bytes
+            if block != current_block:
+                access = self.memory.access(
+                    static.pc * INSTRUCTION_BYTES, int(fetch_time), AccessType.INSTRUCTION
+                )
+                result.l1i_accesses += 1
+                if access.l1_miss:
+                    result.l1i_misses += 1
+                block_ready = access.ready_cycle
+                current_block = block
+            fetch_time = max(fetch_time, block_ready)
+
+            # Branch-direction hints (BOQ) gate the fetch of the branch itself.
+            hint: Optional[BranchHint] = None
+            if static.is_branch:
+                if hooks.branch_hint is not None:
+                    hint = hooks.branch_hint(entry)
+                if hint is not None and hint.available > fetch_time:
+                    result.fetch_stall_on_hint += hint.available - fetch_time
+                    fetch_time = hint.available
+
+            fetch_times[i] = fetch_time
+            fetch_cursor = fetch_time + fetch_inc
+            if hooks.on_fetch is not None:
+                hooks.on_fetch(entry, fetch_time)
+
+            # ---------------- dispatch ----------------
+            dispatch_time = max(
+                fetch_time + cfg.frontend_latency,
+                prev_dispatch + dispatch_inc,
+            )
+            if i >= cfg.rob_entries:
+                dispatch_time = max(dispatch_time, commit_times[i - cfg.rob_entries])
+            if static.is_memory:
+                if len(mem_indices) >= cfg.lsq_entries:
+                    dispatch_time = max(
+                        dispatch_time, commit_times[mem_indices[-cfg.lsq_entries]]
+                    )
+                mem_indices.append(i)
+            dispatch_times[i] = dispatch_time
+            if dispatch_time - fetch_time <= cfg.frontend_latency + 1e-9:
+                fetch_bound += 1
+            prev_dispatch = dispatch_time
+            result.decoded += 1
+
+            # ---------------- value reuse ----------------
+            value_hint: Optional[ValueHint] = None
+            if hooks.value_hint is not None:
+                candidate = hooks.value_hint(entry)
+                if candidate is not None and candidate.available <= dispatch_time:
+                    value_hint = candidate
+
+            # ---------------- issue / execute ----------------
+            ready = dispatch_time + 1.0
+            for src in static.srcs:
+                ready = max(ready, reg_ready.get(src, start_cycle))
+
+            op_class = static.op_class
+            executed = True
+            if value_hint is not None and value_hint.skip_validation:
+                # All sources were themselves value-predicted: no execution.
+                complete = dispatch_time + 1.0
+                executed = False
+                result.validations_skipped += 1
+            elif op_class in _MEM_CLASSES:
+                issue = mem_pool.reserve(ready, 1.0)
+                address = entry.effective_address
+                if static.is_load:
+                    access = self.memory.access(address, int(issue), AccessType.LOAD)
+                    result.l1d_accesses += 1
+                    if access.l1_miss:
+                        result.l1d_misses += 1
+                        if access.supplied_by in ("l3", "dram"):
+                            result.l2_misses += 1
+                    if access.dram_access:
+                        result.dram_accesses += 1
+                    complete = float(access.ready_cycle)
+                    self._run_prefetchers(static.pc, address, access, issue)
+                    self._remember_load(recent_load_addresses, address)
+                    if hooks.on_memory_access is not None:
+                        hooks.on_memory_access(entry, access, issue)
+                else:
+                    # Stores leave the critical path at issue; the write and
+                    # its traffic are charged at commit below.
+                    complete = issue + 1.0
+            else:
+                latency = float(static.execution_latency)
+                if op_class in _FP_CLASSES:
+                    issue = fp_pool.reserve(ready, latency)
+                else:
+                    issue = int_pool.reserve(ready, 1.0)
+                complete = issue + latency
+
+            if value_hint is not None and not value_hint.skip_validation:
+                result.value_predictions_used += 1
+                if value_hint.correct:
+                    # Dependents may proceed with the predicted value right
+                    # after dispatch; the instruction still executes to
+                    # validate, off the critical path.
+                    if static.writes_register:
+                        reg_ready[static.dst] = dispatch_time + 1.0
+                else:
+                    result.value_mispredictions += 1
+                    complete += cfg.value_mispredict_penalty
+                    if static.writes_register:
+                        reg_ready[static.dst] = complete
+            else:
+                if static.writes_register:
+                    reg_ready[static.dst] = (
+                        dispatch_time + 1.0
+                        if value_hint is not None and value_hint.skip_validation
+                        else complete
+                    )
+
+            if executed:
+                result.executed += 1
+            issue_time = complete if not executed else (
+                complete - (0.0 if static.is_load else float(static.execution_latency))
+            )
+
+            # ---------------- control flow ----------------
+            if static.is_control:
+                redirect = self._handle_control(
+                    entry, fetch_time, complete, hint, hooks, result
+                )
+                if redirect is not None:
+                    fetch_redirect_at = max(fetch_redirect_at, redirect)
+                    self._wrong_path_pollution(
+                        recent_load_addresses, fetch_time, result
+                    )
+
+            # ---------------- commit ----------------
+            commit_time = max(complete, prev_commit + commit_inc)
+            commit_times[i] = commit_time
+            prev_commit = commit_time
+            result.committed += 1
+
+            if static.is_store:
+                access = self.memory.access(
+                    entry.effective_address, int(commit_time), AccessType.STORE
+                )
+                result.l1d_accesses += 1
+                if access.l1_miss:
+                    result.l1d_misses += 1
+                    if access.supplied_by in ("l3", "dram"):
+                        result.l2_misses += 1
+                if access.dram_access:
+                    result.dram_accesses += 1
+                self._run_prefetchers(static.pc, entry.effective_address, access, commit_time)
+                if hooks.on_memory_access is not None:
+                    hooks.on_memory_access(entry, access, commit_time)
+
+            if hooks.on_commit is not None:
+                hooks.on_commit(entry, commit_time)
+
+            if collect_timings:
+                timings.append(
+                    InstructionTiming(
+                        fetch=fetch_time,
+                        dispatch=dispatch_time,
+                        issue=issue_time,
+                        complete=complete,
+                        commit=commit_time,
+                    )
+                )
+
+        # ---------------- wrap-up ----------------
+        result.cycles = commit_times[-1] - start_cycle
+        result.tlb_misses = self.memory.tlb.stats.misses
+        result.fetch_bubbles = float(n - fetch_bound)
+        result.timings = timings
+        self._fetch_queue_histogram(fetch_times, dispatch_times, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _handle_control(
+        self,
+        entry: DynamicInst,
+        fetch_time: float,
+        complete: float,
+        hint: Optional[BranchHint],
+        hooks: CoreHooks,
+        result: CoreResult,
+    ) -> Optional[float]:
+        """Branch prediction / BOQ consumption.  Returns a redirect cycle or None."""
+        cfg = self.config
+        static = entry.static
+        taken = bool(entry.taken)
+
+        if static.is_branch:
+            result.branches += 1
+            if hint is not None:
+                if hint.correct:
+                    # Correct BOQ hint: no misprediction; optionally no BTB
+                    # bubble either because the target came along in the FQ.
+                    if taken and not hint.has_target and not self.btb.contains(static.pc):
+                        result.btb_misses += 1
+                        return fetch_time + 3.0
+                    return None
+                result.branch_mispredicts += 1
+                result.hint_mispredicts += 1
+                if hooks.on_hint_mispredict is not None:
+                    hooks.on_hint_mispredict(entry, complete)
+                return complete + cfg.branch_mispredict_penalty
+            predicted = self.predictor.predict(static.pc)
+            self.predictor.update(static.pc, taken)
+            if predicted != taken:
+                result.branch_mispredicts += 1
+                return complete + cfg.branch_mispredict_penalty
+            if taken and not self.btb.contains(static.pc):
+                result.btb_misses += 1
+                self.btb.update(static.pc, entry.next_pc, int(complete))
+                return fetch_time + 3.0
+            if taken:
+                self.btb.update(static.pc, entry.next_pc, int(complete))
+            return None
+
+        # Unconditional control flow: jumps, calls, returns.
+        op = static.opcode
+        if op is Opcode.CALL:
+            self.ras.push(static.pc + 1)
+            if not self.btb.contains(static.pc):
+                result.btb_misses += 1
+                self.btb.update(static.pc, entry.next_pc, int(complete))
+                return fetch_time + 3.0
+            return None
+        if op is Opcode.RET:
+            predicted_target = self.ras.pop()
+            if predicted_target != entry.next_pc:
+                result.branch_mispredicts += 1
+                return complete + cfg.branch_mispredict_penalty
+            return None
+        # Direct jumps: target known after decode; only a BTB miss costs.
+        if not self.btb.contains(static.pc):
+            result.btb_misses += 1
+            self.btb.update(static.pc, entry.next_pc, int(complete))
+            return fetch_time + 2.0
+        return None
+
+    # ------------------------------------------------------------------
+    def _run_prefetchers(self, pc, address, access, cycle) -> None:
+        if self.l1_prefetcher is not None:
+            for request in self.l1_prefetcher.observe(pc, address, not access.l1_miss, int(cycle)):
+                self.memory.prefetch(request.address, int(cycle), level="l1")
+        if self.l2_prefetcher is not None and access.l1_miss:
+            l2_hit = access.supplied_by == "l2"
+            for request in self.l2_prefetcher.observe(pc, address, l2_hit, int(cycle)):
+                self.memory.prefetch(request.address, int(cycle), level=request.level)
+
+    @staticmethod
+    def _remember_load(recent: List[int], address: int) -> None:
+        recent.append(address)
+        if len(recent) > 16:
+            del recent[0]
+
+    def _wrong_path_pollution(self, recent_loads: List[int], cycle: float,
+                              result: CoreResult) -> None:
+        """Charge wrong-path work after a misprediction.
+
+        The deeper the fetch unit is allowed to run ahead (larger fetch
+        buffer), the more wrong-path instructions are in flight when a branch
+        resolves.  Those instructions consume decode/execute bandwidth
+        (energy) and issue loads that pollute the data cache — the effect
+        that makes a big fetch buffer a mixed blessing on a conventional
+        core (Sec. III-D2) but essentially free under BOQ-driven fetch.
+        """
+        if not self.config.model_wrong_path:
+            return
+        cfg = self.config
+        wrong_path_depth = min(
+            cfg.fetch_buffer_entries + cfg.decode_width,
+            cfg.branch_mispredict_penalty * cfg.fetch_width,
+        )
+        result.decoded += wrong_path_depth
+        result.executed += int(wrong_path_depth * 0.6)
+        if not recent_loads:
+            return
+        pollution_loads = min(4, max(1, wrong_path_depth // 8))
+        base = recent_loads[-1]
+        block = self.memory.config.l1d.block_bytes
+        for k in range(pollution_loads):
+            victim_address = base + (k + 1) * block * 3
+            self.memory.access(victim_address, int(cycle), AccessType.LOAD)
+
+    # ------------------------------------------------------------------
+    def _fetch_queue_histogram(self, fetch_times: List[float],
+                               dispatch_times: List[float],
+                               result: CoreResult, sample_every: int = 4) -> None:
+        """Reconstruct the fetch-buffer occupancy distribution (Fig. 14).
+
+        At the moment instruction ``i`` dispatches, the buffer holds every
+        later instruction that has already been fetched.  Fetch times are
+        non-decreasing, so a binary search gives the count directly.
+        """
+        n = len(fetch_times)
+        capacity = self.config.fetch_buffer_entries
+        for i in range(0, n, sample_every):
+            upper = bisect.bisect_right(fetch_times, dispatch_times[i], i, n)
+            occupancy = min(capacity, max(0, upper - i - 1))
+            result.merge_histogram(occupancy)

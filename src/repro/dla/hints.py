@@ -1,0 +1,279 @@
+"""Main-thread hint source: turns look-ahead results into pipeline hooks.
+
+The :class:`MainThreadHintSource` is constructed from the look-ahead pass's
+outputs (per-branch and per-value production times, the stream of prefetch
+hints) and is then handed to the main-thread core as a set of
+:class:`~repro.core.pipeline.CoreHooks`.  It owns all of the runtime coupling
+behaviour:
+
+* stalling the main thread's fetch until a BOQ entry exists (hints become
+  available only after the look-ahead thread produced them, plus the
+  core-to-core transfer latency);
+* throttling the look-ahead lead to the BOQ capacity;
+* rebooting the look-ahead thread when a hint turns out wrong (all later
+  hints are pushed back by the reboot penalty plus the re-execution time);
+* just-in-time installation of L1 prefetch / TLB hints as the main thread's
+  fetch reaches the corresponding point of the program;
+* value-reuse delivery with the validation-skip scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.pipeline import BranchHint, CoreHooks, ValueHint
+from repro.dla.config import DlaConfig
+from repro.dla.queues import (
+    BoqEntry,
+    BranchOutcomeQueue,
+    FootnoteEntry,
+    FootnoteKind,
+    FootnoteQueue,
+)
+from repro.dla.t1 import T1PrefetchEngine
+from repro.dla.value_reuse import ValidationScoreboard
+from repro.emulator.trace import DynamicInst
+from repro.memory.hierarchy import CoreMemorySystem
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class LookaheadProducts:
+    """Everything the look-ahead pass produced, keyed by original trace seq."""
+
+    #: seq of conditional branch -> LT commit cycle.
+    branch_times: Dict[int, float] = field(default_factory=dict)
+    #: Ordered list of branch seqs (for BOQ occupancy throttling).
+    branch_order: List[int] = field(default_factory=list)
+    #: seq of value-reuse target instruction -> LT commit cycle.
+    value_times: Dict[int, float] = field(default_factory=dict)
+    #: Prefetch hints (LT L1 misses), ordered by LT cycle: (cycle, address).
+    prefetch_hints: List[Tuple[float, int]] = field(default_factory=list)
+    #: LT core cycles spent producing the segment (for lead accounting).
+    lt_cycles: float = 0.0
+
+
+@dataclass
+class RebootRecord:
+    """Bookkeeping for one look-ahead reboot."""
+
+    branch_seq: int
+    mt_resolve_cycle: float
+    offset_after: float
+
+
+class MainThreadHintSource:
+    """Builds the CoreHooks used by the main thread of a DLA system."""
+
+    def __init__(
+        self,
+        products: LookaheadProducts,
+        dla_config: DlaConfig,
+        memory: CoreMemorySystem,
+        boq: BranchOutcomeQueue,
+        fq: FootnoteQueue,
+        risky_branch_pcs: Set[int],
+        biased_branch_pcs: Set[int],
+        branch_bias_direction: Dict[int, bool],
+        value_target_pcs: Optional[Set[int]] = None,
+        t1_engine: Optional[T1PrefetchEngine] = None,
+        loop_branch_pcs: Optional[Set[int]] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        self.products = products
+        self.config = dla_config
+        self.memory = memory
+        self.boq = boq
+        self.fq = fq
+        self.risky_branch_pcs = risky_branch_pcs
+        self.biased_branch_pcs = biased_branch_pcs
+        self.branch_bias_direction = branch_bias_direction
+        self.value_target_pcs = value_target_pcs or set()
+        self.t1 = t1_engine
+        self.loop_branch_pcs = loop_branch_pcs or set()
+        self.rng = rng or DeterministicRng(dla_config.seed)
+
+        #: Offset translating LT production cycles into MT availability cycles.
+        self.offset = float(dla_config.hint_transfer_latency)
+        self.reboots: List[RebootRecord] = []
+        self.scoreboard = ValidationScoreboard()
+
+        # Branch-ordinal bookkeeping for BOQ-capacity throttling.
+        self._branch_ordinal: Dict[int, int] = {
+            seq: i for i, seq in enumerate(products.branch_order)
+        }
+        self._branch_consume_cycles: List[float] = []
+
+        # Just-in-time prefetch-hint installation.
+        self._prefetch_cursor = 0
+        self.prefetches_installed = 0
+
+        # PCs for which the SIF stopped predicting after a misprediction.
+        self._value_disabled_pcs: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # hook entry points
+    # ------------------------------------------------------------------
+    def hooks(self) -> CoreHooks:
+        return CoreHooks(
+            branch_hint=self.branch_hint,
+            value_hint=self.value_hint,
+            on_commit=self.on_commit,
+            on_fetch=self.on_fetch,
+            on_hint_mispredict=self.on_hint_mispredict,
+        )
+
+    # -- branch hints ------------------------------------------------------
+    def branch_hint(self, entry: DynamicInst) -> Optional[BranchHint]:
+        lt_time = self.products.branch_times.get(entry.seq)
+        if lt_time is None:
+            return None
+        available = lt_time + self.offset
+
+        # BOQ capacity: the hint for branch j cannot exist before the entry
+        # for branch j - capacity was consumed by the main thread.
+        ordinal = self._branch_ordinal.get(entry.seq)
+        if ordinal is not None and ordinal >= self.config.boq_entries:
+            gate_index = ordinal - self.config.boq_entries
+            if gate_index < len(self._branch_consume_cycles):
+                available = max(available, self._branch_consume_cycles[gate_index])
+
+        correct = self._hint_correct(entry)
+        if not correct:
+            self.boq.record_incorrect()
+        return BranchHint(available=available, correct=correct, has_target=True)
+
+    def _hint_correct(self, entry: DynamicInst) -> bool:
+        pc = entry.pc
+        if pc in self.biased_branch_pcs:
+            # The skeleton replaced this branch with its bias direction; the
+            # hint is wrong exactly when the dynamic outcome goes against it.
+            bias_taken = self.branch_bias_direction.get(pc, True)
+            if bool(entry.taken) != bias_taken:
+                return False
+            return not self.rng.bernoulli(self.config.safe_branch_error_rate)
+        error_rate = (
+            self.config.risky_branch_error_rate
+            if pc in self.risky_branch_pcs
+            else self.config.safe_branch_error_rate
+        )
+        return not self.rng.bernoulli(error_rate)
+
+    # -- value hints ----------------------------------------------------------
+    def value_hint(self, entry: DynamicInst) -> Optional[ValueHint]:
+        static = entry.static
+        lt_time = self.products.value_times.get(entry.seq)
+        has_prediction = (
+            lt_time is not None
+            and static.pc in self.value_target_pcs
+            and static.pc not in self._value_disabled_pcs
+        )
+        skip = self.scoreboard.process(
+            static.op_class, static.dst, static.srcs, has_prediction
+        )
+        if not has_prediction:
+            return None
+        correct = not self.rng.bernoulli(self.config.value_error_rate)
+        if not correct:
+            # The SIF entry is deleted; this static instruction will no
+            # longer receive predictions.
+            self._value_disabled_pcs.add(static.pc)
+        self.fq.produce(
+            FootnoteEntry(
+                kind=FootnoteKind.VALUE_PREDICTION,
+                produce_cycle=lt_time,
+                value=entry.result,
+            )
+        )
+        return ValueHint(
+            available=lt_time + self.offset,
+            correct=correct,
+            skip_validation=skip and correct,
+        )
+
+    # -- fetch-side activity ----------------------------------------------------
+    def on_fetch(self, entry: DynamicInst, fetch_cycle: float) -> None:
+        # Install prefetch / TLB hints whose (shifted) production time has
+        # passed — the just-in-time release tied to BOQ consumption.
+        hints = self.products.prefetch_hints
+        while self._prefetch_cursor < len(hints):
+            produce_cycle, address = hints[self._prefetch_cursor]
+            available = produce_cycle + self.offset
+            if available > fetch_cycle:
+                break
+            self.memory.prefetch(address, int(available), level="l1")
+            self.memory.prefill_tlb(address, int(available))
+            self.fq.produce(
+                FootnoteEntry(
+                    kind=FootnoteKind.L1_PREFETCH,
+                    produce_cycle=produce_cycle,
+                    address=address,
+                )
+            )
+            self.prefetches_installed += 1
+            self._prefetch_cursor += 1
+
+        if entry.is_branch:
+            self._record_branch_consumption(entry, fetch_cycle)
+
+    def _record_branch_consumption(self, entry: DynamicInst, fetch_cycle: float) -> None:
+        ordinal = self._branch_ordinal.get(entry.seq)
+        if ordinal is None:
+            return
+        # Consumption cycles are recorded in branch order; fetch is in-order
+        # so appending keeps the list sorted by ordinal.
+        while len(self._branch_consume_cycles) <= ordinal:
+            self._branch_consume_cycles.append(fetch_cycle)
+        self.boq.produce(
+            BoqEntry(
+                branch_seq=entry.seq,
+                pc=entry.pc,
+                taken=bool(entry.taken),
+                produce_cycle=self.products.branch_times.get(entry.seq, fetch_cycle),
+            )
+        )
+        self.boq.consume()
+
+    # -- commit-side activity ------------------------------------------------------
+    def on_commit(self, entry: DynamicInst, commit_cycle: float) -> None:
+        if self.t1 is None:
+            return
+        static = entry.static
+        if static.is_load:
+            self.t1.on_commit(static.pc, entry.effective_address, commit_cycle)
+        # Note: the paper clears the prefetch table when "a loop terminates".
+        # With the nested loops of the synthetic kernels a literal
+        # clear-on-every-not-taken-backward-branch would flush entries every
+        # few iterations; the stale-stride fallback inside the engine already
+        # handles behaviour changes, so no explicit clearing is done here.
+
+    # -- reboots ------------------------------------------------------------------
+    def on_hint_mispredict(self, entry: DynamicInst, resolve_cycle: float) -> None:
+        """An incorrect BOQ direction was detected: reboot the look-ahead thread.
+
+        The look-ahead thread restarts from the main thread's architectural
+        state; every hint it produces afterwards is delayed by the reboot
+        penalty plus however far the main thread had to progress to expose
+        the error.
+        """
+        lt_time = self.products.branch_times.get(entry.seq)
+        if lt_time is None:
+            return
+        new_offset = resolve_cycle + self.config.reboot_penalty - lt_time
+        if new_offset > self.offset:
+            self.offset = new_offset
+        self.boq.flush()
+        self.fq.flush()
+        self.reboots.append(
+            RebootRecord(
+                branch_seq=entry.seq,
+                mt_resolve_cycle=resolve_cycle,
+                offset_after=self.offset,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def reboot_count(self) -> int:
+        return len(self.reboots)

@@ -1,0 +1,155 @@
+"""The Branch Outcome Queue (BOQ) and Footnote Queue (FQ).
+
+These two FIFOs are the only communication channel between the look-ahead
+core and the main core (Sec. III-A).  The BOQ carries one 2-bit entry per
+committed conditional branch (direction + a footnote flag); the FQ carries
+wider, less frequent payloads — L1/L2 prefetch addresses, TLB hints,
+indirect-branch targets, and (with the value-reuse optimization) predicted
+register values.  The classes here model occupancy, ordering and the
+communication-volume statistics the paper reports (≈2.2 bits transferred per
+instruction), while the co-simulation in :mod:`repro.dla.system` decides the
+*timing* of production and consumption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util.fifo import BoundedFifo
+
+
+class FootnoteKind(enum.Enum):
+    """Payload types carried by the footnote queue (Fig. 2 / Fig. 8)."""
+
+    L1_PREFETCH = "l1_prefetch"
+    L2_PREFETCH = "l2_prefetch"
+    TLB_HINT = "tlb_hint"
+    INDIRECT_TARGET = "indirect_target"
+    VALUE_PREDICTION = "value_prediction"
+    REBOOT_REGISTER = "reboot_register"
+
+    @property
+    def payload_bits(self) -> int:
+        """Approximate payload width used for communication accounting."""
+        return {
+            FootnoteKind.L1_PREFETCH: 48,
+            FootnoteKind.L2_PREFETCH: 48,
+            FootnoteKind.TLB_HINT: 36,
+            FootnoteKind.INDIRECT_TARGET: 48,
+            FootnoteKind.VALUE_PREDICTION: 64,
+            FootnoteKind.REBOOT_REGISTER: 64,
+        }[self]
+
+
+@dataclass
+class BoqEntry:
+    """One branch outcome produced by the look-ahead thread."""
+
+    branch_seq: int          # dynamic branch index in the committed stream
+    pc: int
+    taken: bool
+    produce_cycle: float     # LT commit cycle
+    has_footnote: bool = False
+
+
+@dataclass
+class FootnoteEntry:
+    """One footnote-queue payload."""
+
+    kind: FootnoteKind
+    produce_cycle: float
+    address: Optional[int] = None
+    value: Optional[int] = None
+    #: Offset of the value-predicted instruction from the preceding branch.
+    offset_from_branch: int = 0
+
+
+class BranchOutcomeQueue:
+    """Occupancy/statistics model of the BOQ."""
+
+    ENTRY_BITS = 2
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.fifo: BoundedFifo[BoqEntry] = BoundedFifo(capacity)
+        self.produced = 0
+        self.consumed = 0
+        self.incorrect = 0
+
+    def produce(self, entry: BoqEntry) -> bool:
+        """Push an outcome; returns False when the queue is full (LT stalls)."""
+        ok = self.fifo.try_push(entry)
+        if ok:
+            self.produced += 1
+        return ok
+
+    def consume(self) -> Optional[BoqEntry]:
+        entry = self.fifo.try_pop()
+        if entry is not None:
+            self.consumed += 1
+        return entry
+
+    def record_incorrect(self) -> None:
+        self.incorrect += 1
+
+    def flush(self) -> int:
+        """Drop all pending entries (look-ahead reboot); returns count dropped."""
+        dropped = len(self.fifo)
+        self.fifo.clear()
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def bits_transferred(self) -> int:
+        return self.produced * self.ENTRY_BITS
+
+
+class FootnoteQueue:
+    """Occupancy/statistics model of the FQ."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.fifo: BoundedFifo[FootnoteEntry] = BoundedFifo(capacity)
+        self.produced = 0
+        self.consumed = 0
+        self.bits_transferred = 0
+        self.produced_by_kind = {kind: 0 for kind in FootnoteKind}
+
+    def produce(self, entry: FootnoteEntry) -> bool:
+        ok = self.fifo.try_push(entry)
+        if ok:
+            self.produced += 1
+            self.produced_by_kind[entry.kind] += 1
+            self.bits_transferred += entry.kind.payload_bits
+        return ok
+
+    def consume(self) -> Optional[FootnoteEntry]:
+        entry = self.fifo.try_pop()
+        if entry is not None:
+            self.consumed += 1
+        return entry
+
+    def flush(self) -> int:
+        dropped = len(self.fifo)
+        self.fifo.clear()
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+
+def communication_bits_per_instruction(boq: BranchOutcomeQueue, fq: FootnoteQueue,
+                                       committed_instructions: int) -> float:
+    """Average LT-to-MT communication volume in bits per committed instruction.
+
+    The paper reports this averages about 2.2 bits per instruction and is
+    therefore an insignificant energy contributor.
+    """
+    if committed_instructions <= 0:
+        return 0.0
+    total_bits = boq.bits_transferred + fq.bits_transferred
+    return total_bits / committed_instructions

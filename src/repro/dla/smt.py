@@ -1,0 +1,120 @@
+"""SMT-core usage scenarios (Sec. IV-B3, Fig. 11).
+
+The paper's final experiment asks: given one wide SMT core (loosely modelled
+after an IBM POWER9 SMT8 core that can also operate as two independent
+half-cores), what is the best way to spend it on a single program?
+
+* **FC** — use the whole wide core for single-thread execution;
+* **DLA** — split it into two half-cores and run the main thread on one and
+  the look-ahead thread on the other;
+* **R3-DLA** — the same split, with the R3 optimizations enabled;
+* **SMT** — run two independent copies of the program, one per hardware
+  thread, and report combined throughput (a throughput reference point, not a
+  single-thread option).
+
+All results are normalised to a single half-core (HC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import SystemConfig, sm_half_core_config, smt_full_core_config
+from repro.core.pipeline import OutOfOrderCore
+from repro.core.system import simulate_baseline
+from repro.dla.config import DlaConfig
+from repro.dla.profiling import ProgramProfile
+from repro.dla.system import DlaSystem
+from repro.emulator.trace import Trace
+from repro.isa.program import Program
+from repro.memory.hierarchy import CoreMemorySystem, SharedMemorySystem
+from repro.prefetch import make_prefetcher
+
+
+@dataclass
+class SmtComparison:
+    """Throughput of each usage scenario, normalised to the half-core."""
+
+    half_core_ipc: float
+    full_core: float
+    dla: float
+    r3_dla: float
+    smt: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "FC": self.full_core,
+            "DLA": self.dla,
+            "R3-DLA": self.r3_dla,
+            "SMT": self.smt,
+        }
+
+
+def _smt_throughput(trace: Trace, config: SystemConfig) -> float:
+    """Combined IPC of two copies of the benchmark sharing the L3/DRAM.
+
+    Each copy gets half of the wide core's resources (the SMT partitioning);
+    the copies are simulated back to back against one shared memory system so
+    that they contend for L3 capacity and DRAM bandwidth.
+    """
+    half = config.with_overrides(**vars(sm_half_core_config()))
+    shared = SharedMemorySystem(half.memory)
+    total_ipc = 0.0
+    for copy_index in range(2):
+        memory = CoreMemorySystem(shared, half.memory)
+        l2_pf = (
+            make_prefetcher(half.l2_prefetcher)
+            if half.l2_prefetcher not in (None, "none")
+            else None
+        )
+        core = OutOfOrderCore(half.core, memory, l2_prefetcher=l2_pf,
+                              name=f"smt-copy-{copy_index}")
+        result = core.run(trace.entries)
+        total_ipc += result.ipc
+    return total_ipc
+
+
+def simulate_smt_modes(
+    program: Program,
+    trace: Trace,
+    profile: ProgramProfile,
+    base_config: Optional[SystemConfig] = None,
+    dla_config: Optional[DlaConfig] = None,
+) -> SmtComparison:
+    """Run the four usage scenarios of Fig. 11 for one workload."""
+    base_config = base_config or SystemConfig()
+    dla_config = dla_config or DlaConfig()
+
+    half_cfg = SystemConfig(
+        core=sm_half_core_config(),
+        memory=base_config.memory,
+        l2_prefetcher=base_config.l2_prefetcher,
+        l1_prefetcher=base_config.l1_prefetcher,
+    )
+    full_cfg = SystemConfig(
+        core=smt_full_core_config(),
+        memory=base_config.memory,
+        l2_prefetcher=base_config.l2_prefetcher,
+        l1_prefetcher=base_config.l1_prefetcher,
+    )
+
+    half_outcome = simulate_baseline(trace, half_cfg)
+    full_outcome = simulate_baseline(trace, full_cfg)
+
+    dla_system = DlaSystem(program, half_cfg, dla_config.baseline_dla(), profile=profile)
+    dla_outcome = dla_system.simulate(trace)
+
+    r3_system = DlaSystem(program, half_cfg, dla_config.r3(), profile=profile)
+    r3_outcome = r3_system.simulate(trace)
+
+    smt_ipc = _smt_throughput(trace, full_cfg)
+
+    half_ipc = half_outcome.ipc or 1e-9
+    return SmtComparison(
+        half_core_ipc=half_ipc,
+        full_core=full_outcome.ipc / half_ipc,
+        dla=dla_outcome.ipc / half_ipc,
+        r3_dla=r3_outcome.ipc / half_ipc,
+        smt=smt_ipc / half_ipc,
+    )

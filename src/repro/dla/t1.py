@@ -1,0 +1,184 @@
+"""T1: the strided-prefetch offload engine (the *Reduce* optimization).
+
+T1 is a deliberately dumb finite state machine located in the main core.  The
+skeleton generator marks strided loop loads with an S bit; at run time T1
+watches those marked instructions commit, derives the stride from consecutive
+addresses of the same static instruction and the prefetch distance from the
+ratio of average miss latency to loop-iteration time, and then issues one
+prefetch per iteration (plus a burst of catch-up prefetches when it first
+reaches steady state).  Crucially it never has to *detect* whether a stream is
+strided — that decision was made offline — which is why it can be both more
+accurate and less traffic-hungry than a conventional stride prefetcher
+(Table III, Fig. 12).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.memory.hierarchy import CoreMemorySystem
+
+
+class _EntryState(enum.Enum):
+    INVALID = "invalid"
+    TRANSIENT = "transient"
+    STEADY = "steady"
+
+
+@dataclass
+class T1Config:
+    """T1 sizing (Table I: 16 prefetch-table entries)."""
+
+    entries: int = 16
+    #: Default/fallback prefetch distance while the real one is being learned.
+    initial_distance: int = 4
+    min_distance: int = 2
+    max_distance: int = 64
+    #: Observations of a consistent stride required before steady state.
+    confirmations: int = 2
+    #: Prefetches issued in one burst when catching up to the distance.
+    catch_up_burst: int = 8
+    #: Assumed average miss latency (cycles) for the distance calculation,
+    #: refined online from observed inter-commit times.  Set near the full
+    #: L1-to-DRAM round trip so steady-state prefetches land early enough.
+    assumed_miss_latency: float = 240.0
+    block_bytes: int = 64
+
+
+@dataclass
+class _PrefetchTableEntry:
+    """One entry of the T1 prefetch table (Fig. 3)."""
+
+    inst_pc: int
+    loop_pc: int = 0
+    state: _EntryState = _EntryState.INVALID
+    last_address: int = 0
+    stride: int = 0
+    confirmations: int = 0
+    last_commit_cycle: float = 0.0
+    iteration_interval: float = 0.0
+    prefetch_distance: int = 0
+    last_use: float = 0.0
+
+
+@dataclass
+class T1Stats:
+    prefetches_issued: int = 0
+    catch_up_bursts: int = 0
+    entries_allocated: int = 0
+    entries_reset: int = 0
+    strides_confirmed: int = 0
+
+
+class T1PrefetchEngine:
+    """The FSM attached to the main core when ``enable_t1`` is on."""
+
+    def __init__(self, marked_pcs: Iterable[int], memory: CoreMemorySystem,
+                 config: Optional[T1Config] = None) -> None:
+        self.marked_pcs: Set[int] = set(marked_pcs)
+        self.memory = memory
+        self.config = config or T1Config()
+        self.stats = T1Stats()
+        self._table: Dict[int, _PrefetchTableEntry] = {}
+
+    # ------------------------------------------------------------------
+    def on_commit(self, pc: int, address: Optional[int], cycle: float,
+                  is_loop_branch: bool = False) -> None:
+        """Feed one committed instruction of the main thread into the engine."""
+        if is_loop_branch:
+            # All entries are cleared when a loop terminates; we approximate
+            # loop termination by a *not-taken* loop branch, which the caller
+            # signals by is_loop_branch=True with address None.
+            if address is None:
+                self.clear()
+            return
+        if address is None or pc not in self.marked_pcs:
+            return
+        entry = self._table.get(pc)
+        if entry is None:
+            entry = self._allocate(pc, cycle)
+            entry.last_address = address
+            entry.last_commit_cycle = cycle
+            entry.state = _EntryState.TRANSIENT
+            return
+
+        observed_stride = address - entry.last_address
+        interval = max(1.0, cycle - entry.last_commit_cycle)
+        entry.last_address = address
+        entry.last_commit_cycle = cycle
+        entry.last_use = cycle
+
+        if entry.state is _EntryState.TRANSIENT:
+            if observed_stride == entry.stride and observed_stride != 0:
+                entry.confirmations += 1
+                entry.iteration_interval = (entry.iteration_interval + interval) / 2.0
+                if entry.confirmations >= self.config.confirmations:
+                    self._enter_steady(entry, address, cycle)
+            else:
+                entry.stride = observed_stride
+                entry.confirmations = 0
+                entry.iteration_interval = interval
+        elif entry.state is _EntryState.STEADY:
+            if observed_stride != entry.stride:
+                # The loop changed behaviour; fall back and re-learn.
+                entry.state = _EntryState.TRANSIENT
+                entry.stride = observed_stride
+                entry.confirmations = 0
+                self.stats.entries_reset += 1
+                return
+            entry.iteration_interval = 0.75 * entry.iteration_interval + 0.25 * interval
+            self._issue(entry, address, cycle, count=1)
+
+    # ------------------------------------------------------------------
+    def _enter_steady(self, entry: _PrefetchTableEntry, address: int, cycle: float) -> None:
+        entry.state = _EntryState.STEADY
+        self.stats.strides_confirmed += 1
+        interval = max(1.0, entry.iteration_interval)
+        distance = int(round(self.config.assumed_miss_latency / interval))
+        entry.prefetch_distance = max(
+            self.config.min_distance, min(self.config.max_distance, distance)
+        )
+        # Catch-up burst: launch several prefetches to reach the distance.
+        self._issue(entry, address, cycle, count=min(
+            self.config.catch_up_burst, entry.prefetch_distance))
+        self.stats.catch_up_bursts += 1
+
+    def _issue(self, entry: _PrefetchTableEntry, address: int, cycle: float,
+               count: int) -> None:
+        distance = entry.prefetch_distance or self.config.initial_distance
+        block = self.config.block_bytes
+        issued_blocks = set()
+        for i in range(count):
+            target = address + (distance + i) * entry.stride
+            if target < 0:
+                continue
+            if target // block in issued_blocks:
+                continue
+            issued_blocks.add(target // block)
+            self.memory.prefetch(target, int(cycle), level="l1")
+            self.stats.prefetches_issued += 1
+
+    def _allocate(self, pc: int, cycle: float) -> _PrefetchTableEntry:
+        if len(self._table) >= self.config.entries:
+            victim = min(self._table, key=lambda key: self._table[key].last_use)
+            del self._table[victim]
+        entry = _PrefetchTableEntry(inst_pc=pc, last_use=cycle)
+        self._table[pc] = entry
+        self.stats.entries_allocated += 1
+        return entry
+
+    def clear(self) -> None:
+        """Clear all table entries (loop termination)."""
+        if self._table:
+            self.stats.entries_reset += len(self._table)
+        self._table.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._table)
+
+    def entry_state(self, pc: int) -> Optional[str]:
+        entry = self._table.get(pc)
+        return entry.state.value if entry is not None else None

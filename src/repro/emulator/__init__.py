@@ -1,0 +1,15 @@
+"""Functional (architectural) execution of programs.
+
+The emulator executes a :class:`~repro.isa.program.Program` instruction by
+instruction and records a *dynamic trace*: the committed instruction stream
+with resolved branch outcomes, effective addresses and result values.  All
+timing models in this repository (the baseline out-of-order core, the DLA
+main and look-ahead threads, the runahead baselines) are trace driven — they
+consume this architectural trace and charge cycles against it — which keeps
+timing concerns cleanly separated from instruction semantics.
+"""
+
+from repro.emulator.trace import DynamicInst, Trace
+from repro.emulator.machine import Emulator, ExecutionLimitExceeded
+
+__all__ = ["DynamicInst", "Trace", "Emulator", "ExecutionLimitExceeded"]

@@ -1,0 +1,191 @@
+"""Architectural interpreter producing committed dynamic traces."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.emulator.trace import DynamicInst, Trace
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGISTERS, ZERO_REGISTER
+
+#: Values are wrapped to 64-bit two's complement, as on a real machine.
+_MASK64 = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when ``strict`` execution hits the dynamic instruction limit."""
+
+
+class Emulator:
+    """Functional execution engine.
+
+    The emulator is deterministic and side-effect free with respect to the
+    :class:`~repro.isa.program.Program` it runs: the program's initial data
+    image is copied at reset, so running the same program twice yields
+    identical traces.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.registers: List[int] = [0] * NUM_REGISTERS
+        self.memory: Dict[int, int] = {}
+        self.pc = program.entry_point
+        self.halted = False
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore architectural state to the program's initial image."""
+        self.registers = [0] * NUM_REGISTERS
+        self.memory = dict(self.program.data)
+        self.pc = self.program.entry_point
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def _read(self, reg: int) -> int:
+        return 0 if reg == ZERO_REGISTER else self.registers[reg]
+
+    def _write(self, reg: Optional[int], value: int) -> Optional[int]:
+        if reg is None or reg == ZERO_REGISTER:
+            return None
+        value = _to_signed(value)
+        self.registers[reg] = value
+        return value
+
+    # ------------------------------------------------------------------
+    def step(self, seq: int) -> DynamicInst:
+        """Execute one instruction and return its dynamic record."""
+        inst = self.program[self.pc]
+        op = inst.opcode
+        srcs = [self._read(r) for r in inst.srcs]
+        result: Optional[int] = None
+        effective_address: Optional[int] = None
+        taken: Optional[bool] = None
+        next_pc = self.pc + 1
+
+        if op in (Opcode.ADD, Opcode.FADD):
+            result = self._write(inst.dst, srcs[0] + srcs[1])
+        elif op is Opcode.SUB:
+            result = self._write(inst.dst, srcs[0] - srcs[1])
+        elif op is Opcode.AND:
+            result = self._write(inst.dst, srcs[0] & srcs[1])
+        elif op is Opcode.OR:
+            result = self._write(inst.dst, srcs[0] | srcs[1])
+        elif op is Opcode.XOR:
+            result = self._write(inst.dst, srcs[0] ^ srcs[1])
+        elif op is Opcode.SHL:
+            result = self._write(inst.dst, srcs[0] << (srcs[1] & 63))
+        elif op is Opcode.SHR:
+            result = self._write(inst.dst, (srcs[0] & _MASK64) >> (srcs[1] & 63))
+        elif op is Opcode.SLT:
+            result = self._write(inst.dst, 1 if srcs[0] < srcs[1] else 0)
+        elif op is Opcode.SEQ:
+            result = self._write(inst.dst, 1 if srcs[0] == srcs[1] else 0)
+        elif op is Opcode.ADDI:
+            result = self._write(inst.dst, srcs[0] + inst.imm)
+        elif op is Opcode.ANDI:
+            result = self._write(inst.dst, srcs[0] & inst.imm)
+        elif op is Opcode.LI:
+            result = self._write(inst.dst, inst.imm)
+        elif op is Opcode.MOV:
+            result = self._write(inst.dst, srcs[0])
+        elif op in (Opcode.MUL, Opcode.FMUL):
+            result = self._write(inst.dst, srcs[0] * srcs[1])
+        elif op in (Opcode.DIV, Opcode.FDIV):
+            divisor = srcs[1]
+            result = self._write(inst.dst, 0 if divisor == 0 else srcs[0] // divisor)
+        elif op is Opcode.MOD:
+            divisor = srcs[1]
+            result = self._write(inst.dst, 0 if divisor == 0 else srcs[0] % divisor)
+        elif op is Opcode.LOAD:
+            effective_address = srcs[0] + inst.imm
+            result = self._write(inst.dst, self.memory.get(effective_address, 0))
+        elif op is Opcode.STORE:
+            effective_address = srcs[0] + inst.imm
+            self.memory[effective_address] = _to_signed(srcs[1])
+        elif op is Opcode.BEQZ:
+            taken = srcs[0] == 0
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.BNEZ:
+            taken = srcs[0] != 0
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.BLT:
+            taken = srcs[0] < srcs[1]
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.BGE:
+            taken = srcs[0] >= srcs[1]
+            if taken:
+                next_pc = inst.target
+        elif op is Opcode.JUMP:
+            taken = True
+            next_pc = inst.target
+        elif op is Opcode.CALL:
+            taken = True
+            result = self._write(inst.dst, self.pc + 1)
+            next_pc = inst.target
+        elif op is Opcode.RET:
+            taken = True
+            next_pc = srcs[0]
+        elif op is Opcode.HALT:
+            self.halted = True
+            next_pc = self.pc
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - every opcode is handled above
+            raise NotImplementedError(f"unhandled opcode {op}")
+
+        if not 0 <= next_pc < len(self.program):
+            raise RuntimeError(
+                f"control transfer to invalid pc {next_pc} from pc {self.pc}"
+            )
+
+        record = DynamicInst(
+            seq=seq,
+            static=inst,
+            result=result,
+            effective_address=effective_address,
+            taken=taken,
+            next_pc=next_pc,
+        )
+        self.pc = next_pc
+        return record
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 1_000_000, strict: bool = False) -> Trace:
+        """Execute until ``HALT`` or the dynamic-instruction limit.
+
+        Parameters
+        ----------
+        max_instructions:
+            Upper bound on committed instructions.
+        strict:
+            When ``True`` an :class:`ExecutionLimitExceeded` is raised if the
+            limit is hit before the program halts; otherwise the partial
+            trace is returned with ``completed=False``.
+        """
+        self.reset()
+        entries: List[DynamicInst] = []
+        while not self.halted and len(entries) < max_instructions:
+            entries.append(self.step(len(entries)))
+        if not self.halted and strict:
+            raise ExecutionLimitExceeded(
+                f"program {self.program.name!r} did not halt within "
+                f"{max_instructions} instructions"
+            )
+        return Trace(self.program, entries, completed=self.halted)
+
+
+def run_program(program: Program, max_instructions: int = 1_000_000) -> Trace:
+    """Convenience wrapper: execute ``program`` and return its trace."""
+    return Emulator(program).run(max_instructions=max_instructions)

@@ -1,0 +1,115 @@
+"""Dynamic trace representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+@dataclass
+class DynamicInst:
+    """One committed dynamic instruction.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (0-based).
+    static:
+        The static :class:`~repro.isa.instructions.Instruction` executed.
+    result:
+        Value written to the destination register (``None`` if none).
+    effective_address:
+        Byte address touched by a load/store (``None`` otherwise).
+    taken:
+        For control instructions, whether the redirect happened.
+    next_pc:
+        Static PC of the dynamically following instruction.
+    """
+
+    seq: int
+    static: Instruction
+    result: Optional[int] = None
+    effective_address: Optional[int] = None
+    taken: Optional[bool] = None
+    next_pc: int = 0
+
+    # Convenience pass-throughs so timing models rarely need ``.static``.
+    @property
+    def pc(self) -> int:
+        return self.static.pc
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.static.op_class
+
+    @property
+    def is_branch(self) -> bool:
+        return self.static.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.static.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.static.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.static.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.static.is_memory
+
+
+class Trace:
+    """A committed dynamic instruction stream plus summary statistics."""
+
+    def __init__(self, program, entries: Sequence[DynamicInst], completed: bool) -> None:
+        self.program = program
+        self.entries: List[DynamicInst] = list(entries)
+        #: True when the program reached a HALT before the instruction limit.
+        self.completed = completed
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, idx: int) -> DynamicInst:
+        return self.entries[idx]
+
+    def __iter__(self) -> Iterator[DynamicInst]:
+        return iter(self.entries)
+
+    # -- summaries ---------------------------------------------------------
+    def class_mix(self) -> Dict[OpClass, int]:
+        """Dynamic instruction count per functional class."""
+        mix: Dict[OpClass, int] = {}
+        for entry in self.entries:
+            mix[entry.op_class] = mix.get(entry.op_class, 0) + 1
+        return mix
+
+    def branch_count(self) -> int:
+        return sum(1 for e in self.entries if e.is_branch)
+
+    def load_count(self) -> int:
+        return sum(1 for e in self.entries if e.is_load)
+
+    def store_count(self) -> int:
+        return sum(1 for e in self.entries if e.is_store)
+
+    def memory_count(self) -> int:
+        return sum(1 for e in self.entries if e.is_memory)
+
+    def pc_execution_counts(self) -> Dict[int, int]:
+        """Dynamic execution count per static PC (used by profilers)."""
+        counts: Dict[int, int] = {}
+        for entry in self.entries:
+            counts[entry.pc] = counts.get(entry.pc, 0) + 1
+        return counts
+
+    def window(self, start: int, length: int) -> "Trace":
+        """A sub-trace covering ``[start, start + length)`` dynamic entries."""
+        return Trace(self.program, self.entries[start : start + length], self.completed)

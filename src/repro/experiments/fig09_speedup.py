@@ -1,0 +1,86 @@
+"""Fig. 9 — overall performance of DLA and R3-DLA.
+
+(a) Speedup of six configurations over the baseline-with-BOP:
+    BL(noPF), BL, DLA(noPF), DLA, R3-DLA(noPF), R3-DLA — per suite geomean
+    with min/max range.
+(b) Comparison with related approaches: B-Fetch, SlipStream, CRE, DLA,
+    R3-DLA (suite-wide geomean).
+
+Shapes to reproduce: R3-DLA > DLA > BL everywhere; removing the hardware
+prefetcher hurts the baseline far more than it hurts the DLA variants; the
+related approaches land between the baseline and full R3-DLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import SpeedupTable
+from repro.analysis.reporting import format_table
+from repro.baselines import simulate_bfetch, simulate_cre, simulate_slipstream
+from repro.dla.config import DlaConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.suites import SUITES
+
+
+@dataclass
+class Fig09Result:
+    table: SpeedupTable
+    related: SpeedupTable
+
+    def render(self) -> str:
+        lines = ["Fig. 9-a — speedup over baseline with BOP", ""]
+        lines.append(format_table(self.table.summary_rows(list(SUITES))))
+        lines.append("")
+        lines.append("Fig. 9-b — related approaches (suite-wide geomean)")
+        lines.append(format_table(self.related.summary_rows([])))
+        return "\n".join(lines)
+
+
+def run(runner: Optional[ExperimentRunner] = None,
+        include_related: bool = True) -> Fig09Result:
+    runner = runner or ExperimentRunner(quick=True)
+    nopf = runner.no_prefetch_config()
+    table = SpeedupTable()
+    related = SpeedupTable()
+
+    for setup in runner.setups():
+        reference = runner.baseline(setup, "bl")
+        ref_cycles = reference.cycles
+
+        bl_nopf = runner.baseline(setup, "bl-nopf", nopf)
+        dla = runner.dla(setup, DlaConfig().baseline_dla(), "dla")
+        dla_nopf = runner.dla(setup, DlaConfig().baseline_dla(), "dla-nopf", nopf)
+        r3 = runner.dla(setup, DlaConfig().r3(), "r3")
+        r3_nopf = runner.dla(setup, DlaConfig().r3(), "r3-nopf", nopf)
+
+        table.record("BL (noPF)", setup.name, ref_cycles / bl_nopf.cycles, setup.suite)
+        table.record("BL", setup.name, 1.0, setup.suite)
+        table.record("DLA (noPF)", setup.name, ref_cycles / dla_nopf.cycles, setup.suite)
+        table.record("DLA", setup.name, ref_cycles / dla.cycles, setup.suite)
+        table.record("R3-DLA (noPF)", setup.name, ref_cycles / r3_nopf.cycles, setup.suite)
+        table.record("R3-DLA", setup.name, ref_cycles / r3.cycles, setup.suite)
+
+        if include_related:
+            bfetch = simulate_bfetch(setup.timed, runner.system_config,
+                                     warmup_entries=setup.warmup)
+            slip = simulate_slipstream(setup.program, setup.timed, setup.profile,
+                                       runner.system_config, warmup_entries=setup.warmup)
+            cre = simulate_cre(setup.program, setup.timed, setup.profile,
+                               runner.system_config, warmup_entries=setup.warmup)
+            related.record("B-Fetch", setup.name, ref_cycles / bfetch.cycles, setup.suite)
+            related.record("S-Stream", setup.name, ref_cycles / slip.cycles, setup.suite)
+            related.record("CRE", setup.name, ref_cycles / cre.cycles, setup.suite)
+            related.record("DLA", setup.name, ref_cycles / dla.cycles, setup.suite)
+            related.record("R3-DLA", setup.name, ref_cycles / r3.cycles, setup.suite)
+
+    return Fig09Result(table=table, related=related)
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

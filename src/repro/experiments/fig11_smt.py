@@ -1,0 +1,71 @@
+"""Fig. 11 — R3-DLA on a wide SMT core.
+
+For each workload, compare four ways of spending one wide SMT core:
+full-core single thread (FC), DLA across two half-cores, R3-DLA across two
+half-cores, and two-copy SMT throughput — all normalised to a single
+half-core.  Shape to reproduce: the wide core alone gives a modest average
+gain, DLA is sometimes better and sometimes worse, R3-DLA beats both on
+average, and two-copy SMT throughput tops the chart (it is a throughput
+number, not single-thread performance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_bar_chart, format_table
+from repro.dla.smt import simulate_smt_modes
+from repro.experiments.runner import ExperimentRunner
+from repro.util.stats_math import geometric_mean
+
+
+@dataclass
+class Fig11Result:
+    per_workload: Dict[str, Dict[str, float]]
+    geomean: Dict[str, float]
+
+    def render(self) -> str:
+        rows: List[Dict[str, object]] = []
+        for name, values in self.per_workload.items():
+            row: Dict[str, object] = {"workload": name}
+            row.update(values)
+            rows.append(row)
+        lines = ["Fig. 11 — throughput normalised to a half-core", ""]
+        lines.append(format_table(rows))
+        lines.append("")
+        lines.append("geomean across workloads:")
+        lines.append(format_bar_chart(self.geomean))
+        return "\n".join(lines)
+
+
+def run(runner: Optional[ExperimentRunner] = None,
+        max_workloads: Optional[int] = None) -> Fig11Result:
+    runner = runner or ExperimentRunner(quick=True)
+    setups = runner.setups()
+    if max_workloads is None:
+        max_workloads = 4 if runner.quick else len(setups)
+    per_workload: Dict[str, Dict[str, float]] = {}
+    for setup in setups[:max_workloads]:
+        comparison = simulate_smt_modes(
+            setup.program,
+            setup.workload.trace(len(setup.timed) + len(setup.warmup)).window(
+                len(setup.warmup), len(setup.timed)
+            ),
+            setup.profile,
+            runner.system_config,
+        )
+        per_workload[setup.name] = comparison.as_dict()
+    geomean = {
+        mode: geometric_mean([values[mode] for values in per_workload.values()])
+        for mode in ("FC", "DLA", "R3-DLA", "SMT")
+    }
+    return Fig11Result(per_workload=per_workload, geomean=geomean)
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Fig. 12 — offloading strided prefetch: DLA+stride vs DLA+T1.
+
+Two ways of covering strided accesses on top of baseline DLA are compared:
+adding a conventional L1 stride prefetcher (DLA + Stride) versus offloading
+to the T1 engine (DLA + T1).  Both speedup over plain DLA (a) and total
+memory traffic normalised to plain DLA (b) are reported.  Shapes to
+reproduce: T1 delivers a higher mean speedup and never slows a workload
+down, while the stride prefetcher's speculative prefetches generate more
+memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import SpeedupTable
+from repro.analysis.reporting import format_table
+from repro.dla.config import DlaConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.suites import SUITES
+
+
+@dataclass
+class Fig12Result:
+    speedup: SpeedupTable
+    traffic: SpeedupTable
+
+    def render(self) -> str:
+        lines = ["Fig. 12-a — speedup over plain DLA", ""]
+        lines.append(format_table(self.speedup.summary_rows(list(SUITES))))
+        lines.append("")
+        lines.append("Fig. 12-b — memory traffic normalised to plain DLA")
+        lines.append(format_table(self.traffic.summary_rows(list(SUITES))))
+        return "\n".join(lines)
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> Fig12Result:
+    runner = runner or ExperimentRunner(quick=True)
+    speedup = SpeedupTable()
+    traffic = SpeedupTable()
+    stride_config = runner.with_l1_stride_config()
+    for setup in runner.setups():
+        dla = runner.dla(setup, DlaConfig().baseline_dla(), "dla")
+        dla_stride = runner.dla(setup, DlaConfig().baseline_dla(), "dla-stride", stride_config)
+        dla_t1 = runner.dla(setup, DlaConfig().with_optimizations(t1=True), "dla-t1")
+
+        speedup.record("DLA + Stride", setup.name, dla.cycles / dla_stride.cycles, setup.suite)
+        speedup.record("DLA + T1", setup.name, dla.cycles / dla_t1.cycles, setup.suite)
+        base_traffic = max(1, dla.memory_traffic)
+        traffic.record("DLA + Stride", setup.name,
+                       dla_stride.memory_traffic / base_traffic, setup.suite)
+        traffic.record("DLA + T1", setup.name,
+                       dla_t1.memory_traffic / base_traffic, setup.suite)
+    return Fig12Result(speedup=speedup, traffic=traffic)
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,135 @@
+"""Fig. 13 — individual optimizations and their synergy.
+
+(a) A fetch buffer added to the baseline vs added to DLA: BOQ-driven fetch
+    makes the larger buffer far more useful (and never harmful).
+(b) Skeleton recycling with dynamic (on-line) vs static (off-line) tuning:
+    both help; static tuning is consistently at least as good because it
+    never pays for trying suboptimal versions.
+(c) Each technique applied *first* (on top of baseline DLA) vs applied
+    *last* (added to a system that already has the other techniques): the
+    last-applied increment is larger, demonstrating the synergy argument of
+    Sec. IV-C4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.dla.config import DlaConfig
+from repro.dla.recycle import RecycleController, build_skeleton_versions
+from repro.dla.system import DlaSystem
+from repro.experiments.runner import ExperimentRunner
+from repro.util.stats_math import geometric_mean
+
+
+@dataclass
+class Fig13Result:
+    fetch_buffer_rows: List[Dict[str, object]]
+    recycle_rows: List[Dict[str, object]]
+    synergy_rows: List[Dict[str, object]]
+
+    def render(self) -> str:
+        lines = ["Fig. 13-a — fetch buffer over BL vs over DLA", ""]
+        lines.append(format_table(self.fetch_buffer_rows))
+        lines.append("")
+        lines.append("Fig. 13-b — dynamic vs static recycle tuning")
+        lines.append(format_table(self.recycle_rows))
+        lines.append("")
+        lines.append("Fig. 13-c — technique applied first vs last")
+        lines.append(format_table(self.synergy_rows))
+        return "\n".join(lines)
+
+
+def _fetch_buffer_study(runner: ExperimentRunner) -> List[Dict[str, object]]:
+    bl_gains, dla_gains = [], []
+    for setup in runner.setups():
+        small = runner.baseline(setup, "bl")
+        big_cfg = runner.system_config.with_overrides(fetch_buffer_entries=32)
+        big = runner.baseline(setup, "bl-fb32", big_cfg)
+        bl_gains.append(small.cycles / big.cycles)
+
+        dla_small = runner.dla(setup, DlaConfig().baseline_dla(), "dla")
+        dla_big = runner.dla(setup, DlaConfig().with_optimizations(fetch_buffer=True), "dla-fb")
+        dla_gains.append(dla_small.cycles / dla_big.cycles)
+    return [
+        {"configuration": "FB over BL", "geomean": geometric_mean(bl_gains),
+         "min": min(bl_gains), "max": max(bl_gains)},
+        {"configuration": "FB over DLA", "geomean": geometric_mean(dla_gains),
+         "min": min(dla_gains), "max": max(dla_gains)},
+    ]
+
+
+def _recycle_study(runner: ExperimentRunner) -> List[Dict[str, object]]:
+    dynamic_gains, static_gains = [], []
+    for setup in runner.setups():
+        base = runner.dla(setup, DlaConfig().with_optimizations(t1=True, value_reuse=True,
+                                                                fetch_buffer=True), "r3-no-recycle")
+        config = DlaConfig().r3()
+        system = DlaSystem(setup.program, runner.system_config, config, profile=setup.profile)
+        versions = build_skeleton_versions(system.builder, enable_t1=True)
+        controller = RecycleController(versions, config, setup.profile.loop_branch_pcs)
+        for dynamic, sink in ((False, static_gains), (True, dynamic_gains)):
+            plan = controller.plan(system, setup.timed, dynamic=dynamic)
+            outcome = system.simulate_segmented(plan.segments, warmup_entries=setup.warmup)
+            sink.append(base.cycles / outcome.cycles)
+    return [
+        {"configuration": "Dynamic", "geomean": geometric_mean(dynamic_gains),
+         "min": min(dynamic_gains), "max": max(dynamic_gains)},
+        {"configuration": "Static", "geomean": geometric_mean(static_gains),
+         "min": min(static_gains), "max": max(static_gains)},
+    ]
+
+
+_TECHNIQUES = {
+    "AS": "t1",             # the paper labels T1 offloading "AS" in Fig. 13-c
+    "VR": "value_reuse",
+    "FB": "fetch_buffer",
+}
+
+
+def _synergy_study(runner: ExperimentRunner) -> List[Dict[str, object]]:
+    rows = []
+    for label, flag in _TECHNIQUES.items():
+        first_gains, last_gains = [], []
+        for setup in runner.setups():
+            base = runner.dla(setup, DlaConfig().baseline_dla(), "dla")
+            only = runner.dla(setup, DlaConfig().with_optimizations(**{flag: True}),
+                              f"dla-{flag}")
+            first_gains.append(base.cycles / only.cycles)
+
+            all_flags = {v: True for v in _TECHNIQUES.values()}
+            full = runner.dla(setup, DlaConfig().with_optimizations(**all_flags), "dla-all3")
+            without = dict(all_flags)
+            without[flag] = False
+            others = runner.dla(setup, DlaConfig().with_optimizations(**without),
+                                f"dla-not-{flag}")
+            last_gains.append(others.cycles / full.cycles)
+        rows.append({
+            "technique": label,
+            "first": geometric_mean(first_gains),
+            "last": geometric_mean(last_gains),
+        })
+    return rows
+
+
+def run(runner: Optional[ExperimentRunner] = None,
+        include_recycle: bool = True) -> Fig13Result:
+    runner = runner or ExperimentRunner(quick=True)
+    fetch_rows = _fetch_buffer_study(runner)
+    recycle_rows = _recycle_study(runner) if include_recycle else []
+    synergy_rows = _synergy_study(runner)
+    return Fig13Result(
+        fetch_buffer_rows=fetch_rows,
+        recycle_rows=recycle_rows,
+        synergy_rows=synergy_rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,69 @@
+"""Fig. 15 — distribution of skeleton versions chosen by the recycle controller.
+
+For each workload, the recycle controller tunes one skeleton version per loop
+unit; the figure shows, per workload, what fraction of the execution ran
+under each version.  Shape to reproduce: no single version dominates across
+all workloads — different programs (and different loops within a program)
+prefer different skeletons, which is the motivation for recycling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.dla.config import DlaConfig
+from repro.dla.recycle import RecycleController, build_skeleton_versions
+from repro.dla.system import DlaSystem
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass
+class Fig15Result:
+    #: workload -> {version name: fraction of instructions}
+    distributions: Dict[str, Dict[str, float]]
+    version_names: List[str]
+
+    def render(self) -> str:
+        rows = []
+        for workload, dist in self.distributions.items():
+            row: Dict[str, object] = {"workload": workload}
+            for name in self.version_names:
+                row[name] = dist.get(name, 0.0)
+            rows.append(row)
+        return (
+            "Fig. 15 — distribution of skeleton versions chosen during tuning\n\n"
+            + format_table(rows)
+        )
+
+
+def run(runner: Optional[ExperimentRunner] = None,
+        max_workloads: Optional[int] = None) -> Fig15Result:
+    runner = runner or ExperimentRunner(quick=True)
+    setups = runner.setups()
+    if max_workloads is None:
+        max_workloads = 5 if runner.quick else len(setups)
+    distributions: Dict[str, Dict[str, float]] = {}
+    version_names: List[str] = []
+    config = DlaConfig().r3()
+    for setup in setups[:max_workloads]:
+        system = DlaSystem(setup.program, runner.system_config, config,
+                           profile=setup.profile)
+        versions = build_skeleton_versions(system.builder, enable_t1=True)
+        version_names = [skeleton.options.name for skeleton in versions]
+        controller = RecycleController(versions, config, setup.profile.loop_branch_pcs)
+        plan = controller.plan(system, setup.timed, dynamic=True)
+        distributions[setup.name] = {
+            version_names[index]: fraction
+            for index, fraction in plan.version_distribution.items()
+        }
+    return Fig15Result(distributions=distributions, version_names=version_names)
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

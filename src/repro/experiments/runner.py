@@ -1,0 +1,146 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.system import SimulationOutcome, simulate_baseline
+from repro.dla.config import DlaConfig
+from repro.dla.profiling import ProgramProfile, profile_workload
+from repro.dla.system import DlaOutcome, DlaSystem
+from repro.emulator.trace import DynamicInst
+from repro.isa.program import Program
+from repro.workloads.suites import Workload, all_workloads, get_workload
+
+#: Representative subset used by the default ("quick") experiment runs —
+#: two to four workloads per suite, chosen to span the behaviour axes.
+QUICK_WORKLOADS = [
+    "mcf", "libquantum", "sjeng", "omnetpp",        # spec2k6
+    "bfs", "sssp",                                   # crono
+    "kmeans", "stringsearch",                        # starbench
+    "cg", "mg",                                      # npb
+]
+
+
+@dataclass
+class WorkloadSetup:
+    """Prepared inputs for one workload: program, profile, trace windows."""
+
+    workload: Workload
+    program: Program
+    warmup: List[DynamicInst]
+    timed: List[DynamicInst]
+    profile: ProgramProfile
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @property
+    def suite(self) -> str:
+        return self.workload.suite
+
+
+class ExperimentRunner:
+    """Builds workload setups and caches expensive simulations.
+
+    Parameters
+    ----------
+    quick:
+        When True (default) only :data:`QUICK_WORKLOADS` are used with short
+        windows, keeping the full benchmark suite runnable in minutes; when
+        False every workload of every suite runs with longer windows.
+    """
+
+    def __init__(self, quick: bool = True, workload_names: Optional[Sequence[str]] = None,
+                 warmup_instructions: Optional[int] = None,
+                 timed_instructions: Optional[int] = None,
+                 system_config: Optional[SystemConfig] = None) -> None:
+        self.quick = quick
+        if workload_names is None:
+            workload_names = QUICK_WORKLOADS if quick else [w.name for w in all_workloads()]
+        self.workload_names = list(workload_names)
+        self.warmup_instructions = warmup_instructions or (8_000 if quick else 15_000)
+        self.timed_instructions = timed_instructions or (8_000 if quick else 15_000)
+        self.system_config = system_config or SystemConfig()
+        self._setups: Dict[str, WorkloadSetup] = {}
+        self._baseline_cache: Dict[Tuple[str, str], SimulationOutcome] = {}
+        self._dla_cache: Dict[Tuple[str, str], DlaOutcome] = {}
+
+    # ------------------------------------------------------------------
+    def setup(self, name: str) -> WorkloadSetup:
+        """Prepare (and cache) one workload's program, trace and profile."""
+        if name in self._setups:
+            return self._setups[name]
+        workload = get_workload(name)
+        program = workload.build_program()
+        total = self.warmup_instructions + self.timed_instructions
+        trace = workload.trace(total + 1000)
+        warmup = trace.entries[: self.warmup_instructions]
+        timed = trace.entries[
+            self.warmup_instructions: self.warmup_instructions + self.timed_instructions
+        ]
+        profile = profile_workload(
+            program,
+            trace.window(0, min(len(trace), self.warmup_instructions + 4000)),
+            self.system_config,
+            timing_window=min(6000, self.warmup_instructions),
+        )
+        setup = WorkloadSetup(
+            workload=workload, program=program, warmup=warmup, timed=timed, profile=profile
+        )
+        self._setups[name] = setup
+        return setup
+
+    def setups(self) -> List[WorkloadSetup]:
+        return [self.setup(name) for name in self.workload_names]
+
+    # ------------------------------------------------------------------
+    def baseline(self, setup: WorkloadSetup, label: str = "bl",
+                 config: Optional[SystemConfig] = None) -> SimulationOutcome:
+        """Baseline (single-core) simulation of the timed window, cached."""
+        key = (setup.name, label)
+        if key not in self._baseline_cache:
+            self._baseline_cache[key] = simulate_baseline(
+                setup.timed,
+                config or self.system_config,
+                warmup_entries=setup.warmup,
+            )
+        return self._baseline_cache[key]
+
+    def dla(self, setup: WorkloadSetup, dla_config: DlaConfig, label: str,
+            config: Optional[SystemConfig] = None) -> DlaOutcome:
+        """DLA co-simulation of the timed window, cached by label."""
+        key = (setup.name, label)
+        if key not in self._dla_cache:
+            system = DlaSystem(
+                setup.program,
+                config or self.system_config,
+                dla_config,
+                profile=setup.profile,
+            )
+            self._dla_cache[key] = system.simulate(
+                setup.timed, warmup_entries=setup.warmup
+            )
+        return self._dla_cache[key]
+
+    # ------------------------------------------------------------------
+    def no_prefetch_config(self) -> SystemConfig:
+        """The configured system with every hardware prefetcher disabled."""
+        return SystemConfig(
+            core=self.system_config.core,
+            memory=self.system_config.memory,
+            l2_prefetcher="none",
+            l1_prefetcher="none",
+        )
+
+    def with_l1_stride_config(self) -> SystemConfig:
+        """The configured system with an added L1 stride prefetcher."""
+        return SystemConfig(
+            core=self.system_config.core,
+            memory=self.system_config.memory,
+            l2_prefetcher=self.system_config.l2_prefetcher,
+            l1_prefetcher="stride",
+        )

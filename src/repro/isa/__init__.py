@@ -1,0 +1,61 @@
+"""A small register ISA used as the simulation substrate.
+
+The original paper evaluates Alpha/x86 binaries under gem5.  This repository
+replaces those binaries with programs written in a compact load/store
+register ISA defined here.  The ISA is deliberately simple — 32 integer
+registers, a flat word-addressed data memory, conditional branches on a
+register, calls/returns through a link register — yet rich enough that the
+skeleton-construction, prefetching, value-reuse and control-flow machinery of
+R3-DLA all operate exactly as described in the paper: every static
+instruction has explicit source/destination registers from which backward
+dependence chains can be extracted, loads/stores compute addresses from a
+base register plus an immediate, and control instructions expose taken /
+not-taken outcomes.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    LatencyClass,
+    Opcode,
+    OpClass,
+    is_branch,
+    is_control,
+    is_memory,
+)
+from repro.isa.registers import (
+    LINK_REGISTER,
+    NUM_REGISTERS,
+    STACK_POINTER,
+    ZERO_REGISTER,
+    register_name,
+)
+from repro.isa.program import BasicBlock, Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.analysis import (
+    StaticAnalysis,
+    backward_slice,
+    build_basic_blocks,
+    def_use_chains,
+)
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "LatencyClass",
+    "is_branch",
+    "is_control",
+    "is_memory",
+    "NUM_REGISTERS",
+    "ZERO_REGISTER",
+    "LINK_REGISTER",
+    "STACK_POINTER",
+    "register_name",
+    "Program",
+    "BasicBlock",
+    "ProgramBuilder",
+    "StaticAnalysis",
+    "backward_slice",
+    "build_basic_blocks",
+    "def_use_chains",
+]

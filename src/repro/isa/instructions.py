@@ -1,0 +1,261 @@
+"""Static instruction representation.
+
+Every static instruction carries explicit destination/source registers, an
+immediate, and (for control instructions) a branch target expressed as a
+static PC.  PCs are simply indices into the program's instruction list; the
+memory hierarchy maps them onto byte addresses by multiplying with the
+instruction size (4 bytes), matching a classic RISC layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import ZERO_REGISTER, register_name, validate_register
+
+#: Size in bytes of one encoded instruction; used to form I-cache addresses.
+INSTRUCTION_BYTES = 4
+
+
+class OpClass(enum.Enum):
+    """Coarse functional-unit class of an instruction.
+
+    The out-of-order timing model schedules instructions onto functional
+    units by class, and the energy model charges per-class event energies.
+    """
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+
+class Opcode(enum.Enum):
+    """Concrete opcodes understood by the functional emulator."""
+
+    # Integer ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SLT = "slt"          # set if less-than (signed)
+    SEQ = "seq"          # set if equal
+    ADDI = "addi"        # dst = src1 + imm
+    ANDI = "andi"
+    LI = "li"            # dst = imm
+    MOV = "mov"          # dst = src1
+    # Integer multiply / divide
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    # Floating point (values kept in the integer register file; only the
+    # latency/energy class differs for the purposes of this simulator)
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Memory
+    LOAD = "load"        # dst = mem[src1 + imm]
+    STORE = "store"      # mem[src1 + imm] = src2
+    # Control
+    BEQZ = "beqz"        # branch to target if src1 == 0
+    BNEZ = "bnez"        # branch to target if src1 != 0
+    BLT = "blt"          # branch to target if src1 < src2
+    BGE = "bge"          # branch to target if src1 >= src2
+    JUMP = "jump"        # unconditional branch to target
+    CALL = "call"        # ra = pc + 1; jump to target
+    RET = "ret"          # jump to ra (src1)
+    HALT = "halt"        # stop execution
+    NOP = "nop"
+
+
+#: Mapping from opcode to functional-unit class.
+_OPCODE_CLASS = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SHL: OpClass.INT_ALU,
+    Opcode.SHR: OpClass.INT_ALU,
+    Opcode.SLT: OpClass.INT_ALU,
+    Opcode.SEQ: OpClass.INT_ALU,
+    Opcode.ADDI: OpClass.INT_ALU,
+    Opcode.ANDI: OpClass.INT_ALU,
+    Opcode.LI: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.MOD: OpClass.INT_DIV,
+    Opcode.FADD: OpClass.FP_ALU,
+    Opcode.FMUL: OpClass.FP_MUL,
+    Opcode.FDIV: OpClass.FP_DIV,
+    Opcode.LOAD: OpClass.LOAD,
+    Opcode.STORE: OpClass.STORE,
+    Opcode.BEQZ: OpClass.BRANCH,
+    Opcode.BNEZ: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.JUMP: OpClass.JUMP,
+    Opcode.CALL: OpClass.CALL,
+    Opcode.RET: OpClass.RET,
+    Opcode.HALT: OpClass.NOP,
+    Opcode.NOP: OpClass.NOP,
+}
+
+
+class LatencyClass:
+    """Default execution latencies (in cycles) per :class:`OpClass`.
+
+    These mirror the functional-unit latencies of the aggressive out-of-order
+    baseline in Table I of the paper (single-cycle integer ALU, pipelined
+    multiplier, long-latency divides).  Memory latency is *not* included
+    here; loads and stores get their latency from the cache hierarchy.
+    """
+
+    DEFAULTS = {
+        OpClass.INT_ALU: 1,
+        OpClass.INT_MUL: 3,
+        OpClass.INT_DIV: 12,
+        OpClass.FP_ALU: 3,
+        OpClass.FP_MUL: 4,
+        OpClass.FP_DIV: 14,
+        OpClass.LOAD: 1,    # address generation + cache access added separately
+        OpClass.STORE: 1,
+        OpClass.BRANCH: 1,
+        OpClass.JUMP: 1,
+        OpClass.CALL: 1,
+        OpClass.RET: 1,
+        OpClass.NOP: 1,
+    }
+
+    @classmethod
+    def latency_of(cls, op_class: OpClass) -> int:
+        return cls.DEFAULTS[op_class]
+
+
+_CONTROL_CLASSES = {OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET}
+_CONDITIONAL_OPCODES = {Opcode.BEQZ, Opcode.BNEZ, Opcode.BLT, Opcode.BGE}
+_MEMORY_CLASSES = {OpClass.LOAD, OpClass.STORE}
+
+
+@dataclass
+class Instruction:
+    """One static instruction.
+
+    Attributes
+    ----------
+    pc:
+        Static program counter — the index of this instruction in its
+        :class:`~repro.isa.program.Program`.
+    opcode:
+        The concrete operation.
+    dst:
+        Destination register or ``None`` for instructions without one.
+    srcs:
+        Tuple of source registers (possibly empty).
+    imm:
+        Immediate operand (also the displacement for loads/stores).
+    target:
+        Static PC of the branch/jump/call target, where applicable.
+    annotation:
+        Free-form label attached by workload builders (e.g. ``"list_next"``)
+        that profiling and skeleton construction can key off for reporting.
+    """
+
+    pc: int
+    opcode: Opcode
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    annotation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dst is not None:
+            validate_register(self.dst)
+        for src in self.srcs:
+            validate_register(src)
+
+    # -- classification --------------------------------------------------
+    @property
+    def op_class(self) -> OpClass:
+        return _OPCODE_CLASS[self.opcode]
+
+    @property
+    def is_branch(self) -> bool:
+        """True for *conditional* branches only."""
+        return self.opcode in _CONDITIONAL_OPCODES
+
+    @property
+    def is_control(self) -> bool:
+        """True for any instruction that can redirect the PC."""
+        return self.op_class in _CONTROL_CLASSES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op_class in _MEMORY_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dst is not None and self.dst != ZERO_REGISTER
+
+    @property
+    def byte_address(self) -> int:
+        """Byte address of the instruction in the (virtual) text segment."""
+        return self.pc * INSTRUCTION_BYTES
+
+    @property
+    def execution_latency(self) -> int:
+        return LatencyClass.latency_of(self.op_class)
+
+    # -- pretty-printing -------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.pc:5d}: {self.opcode.value:6s}"]
+        if self.dst is not None:
+            parts.append(register_name(self.dst))
+        parts.extend(register_name(s) for s in self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        if self.annotation:
+            parts.append(f"# {self.annotation}")
+        return " ".join(parts)
+
+
+# -- module-level helpers used by analysis passes ------------------------
+def is_branch(inst: Instruction) -> bool:
+    """True when ``inst`` is a conditional branch."""
+    return inst.is_branch
+
+
+def is_control(inst: Instruction) -> bool:
+    """True when ``inst`` may redirect control flow."""
+    return inst.is_control
+
+
+def is_memory(inst: Instruction) -> bool:
+    """True when ``inst`` accesses data memory."""
+    return inst.is_memory

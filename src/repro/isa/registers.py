@@ -1,0 +1,41 @@
+"""Register-file conventions of the simulation ISA."""
+
+from __future__ import annotations
+
+#: Total number of architectural integer registers.
+NUM_REGISTERS = 32
+
+#: Register 0 is hard-wired to zero, as in MIPS/RISC-V.  Writes are ignored.
+ZERO_REGISTER = 0
+
+#: Calls write their return address here; ``RET`` jumps through it.
+LINK_REGISTER = 31
+
+#: By convention the workload builders use r30 as a stack/frame pointer.
+STACK_POINTER = 30
+
+#: General-purpose registers available to the workload generator
+#: (everything except the zero, link and stack registers).
+GENERAL_PURPOSE = tuple(
+    r for r in range(NUM_REGISTERS) if r not in (ZERO_REGISTER, LINK_REGISTER, STACK_POINTER)
+)
+
+
+def register_name(index: int) -> str:
+    """Human-readable name of register ``index`` (``r0`` ... ``r31``)."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    if index == ZERO_REGISTER:
+        return "zero"
+    if index == LINK_REGISTER:
+        return "ra"
+    if index == STACK_POINTER:
+        return "sp"
+    return f"r{index}"
+
+
+def validate_register(index: int) -> int:
+    """Return ``index`` unchanged if valid, raise otherwise."""
+    if not isinstance(index, int) or not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"invalid register index: {index!r}")
+    return index

@@ -1,0 +1,42 @@
+"""Memory-system substrate: caches, TLB, DRAM, and the per-core hierarchy.
+
+The hierarchy mirrors the configuration in Table I of the paper: private
+32 KB L1 I/D caches and a private 256 KB L2 per core, a shared 2 MB L3, and a
+DDR3-1600-like main memory.  Timing is expressed in core cycles at 3 GHz.
+
+Two behaviours specific to decoupled look-ahead are modelled explicitly:
+
+* **Prefetch timeliness** — a prefetched line carries the cycle at which its
+  data actually arrives; a demand access that hits a still-in-flight prefetch
+  pays the residual latency ("late prefetch"), exactly the effect Table III
+  and Fig. 12 of the paper quantify.
+* **Look-ahead containment** — a cache can run in *look-ahead mode*, in which
+  dirty lines are never written back (they are discarded on eviction), so the
+  speculative look-ahead thread cannot pollute architectural memory state.
+"""
+
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.tlb import Tlb, TlbConfig
+from repro.memory.hierarchy import (
+    AccessResult,
+    AccessType,
+    CoreMemorySystem,
+    MemoryHierarchyConfig,
+    SharedMemorySystem,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "DramConfig",
+    "DramModel",
+    "Tlb",
+    "TlbConfig",
+    "AccessResult",
+    "AccessType",
+    "CoreMemorySystem",
+    "SharedMemorySystem",
+    "MemoryHierarchyConfig",
+]

@@ -1,0 +1,195 @@
+"""Set-associative cache with LRU replacement, MSHRs and prefetch timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str = "cache"
+    size_bytes: int = 32 * 1024
+    associativity: int = 4
+    block_bytes: int = 64
+    #: Access latency in core cycles (hit latency of this level).
+    latency: int = 3
+    #: Maximum outstanding misses; further misses queue behind existing ones.
+    mshr_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.block_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of associativity*block"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_hits: int = 0          # demand access served by a prefetched line
+    late_prefetch_hits: int = 0     # ...where the prefetch was still in flight
+    prefetches_issued: int = 0
+    prefetches_useless: int = 0     # prefetched lines evicted before any use
+    writebacks: int = 0
+    evictions: int = 0
+    mshr_stall_cycles: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class _Line:
+    tag: int
+    fill_time: int = 0              # cycle when data is available in this level
+    last_use: int = 0
+    dirty: bool = False
+    from_prefetch: bool = False
+    prefetch_used: bool = False
+
+
+class Cache:
+    """One level of cache.
+
+    The cache is a timing filter: :meth:`lookup` answers whether a block is
+    present and how many cycles this level adds, and :meth:`fill` installs a
+    block (from a demand miss or a prefetch), possibly evicting another.  The
+    surrounding :class:`~repro.memory.hierarchy.CoreMemorySystem` composes
+    levels and propagates misses downward.
+    """
+
+    def __init__(self, config: CacheConfig, lookahead_mode: bool = False) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        #: Look-ahead containment: dirty lines are discarded, never written back.
+        self.lookahead_mode = lookahead_mode
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
+        #: Completion times of in-flight misses, for MSHR occupancy modelling.
+        self._outstanding: List[int] = []
+
+    # -- address helpers -------------------------------------------------
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        block = address // self.config.block_bytes
+        return block % self.config.num_sets, block // self.config.num_sets
+
+    def block_address(self, address: int) -> int:
+        return (address // self.config.block_bytes) * self.config.block_bytes
+
+    # -- MSHR ---------------------------------------------------------------
+    def _mshr_delay(self, now: int) -> int:
+        """Extra queueing delay when all MSHRs are busy at ``now``."""
+        self._outstanding = [t for t in self._outstanding if t > now]
+        if len(self._outstanding) < self.config.mshr_entries:
+            return 0
+        earliest_free = min(self._outstanding)
+        delay = max(0, earliest_free - now)
+        self.stats.mshr_stall_cycles += delay
+        return delay
+
+    def _track_miss(self, completion: int) -> None:
+        self._outstanding.append(completion)
+        if len(self._outstanding) > 4 * self.config.mshr_entries:
+            # Keep the list bounded; only future completions matter.
+            cutoff = max(self._outstanding) - 10_000
+            self._outstanding = [t for t in self._outstanding if t >= cutoff]
+
+    # -- lookups ----------------------------------------------------------
+    def probe(self, address: int) -> bool:
+        """Presence check with no statistics or LRU side effects."""
+        index, tag = self._index_tag(address)
+        return tag in self._sets[index]
+
+    def lookup(self, address: int, now: int, is_write: bool = False) -> Optional[int]:
+        """Demand access.  Returns the cycle the data is available, or ``None``.
+
+        A hit returns ``max(now, line.fill_time) + latency`` so that accesses
+        arriving before an in-flight prefetch completes pay the residual
+        latency.  A miss returns ``None``; the caller is responsible for
+        going to the next level and calling :meth:`fill`.
+        """
+        self.stats.accesses += 1
+        index, tag = self._index_tag(address)
+        line = self._sets[index].get(tag)
+        if line is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        line.last_use = now
+        if is_write:
+            line.dirty = True
+        if line.from_prefetch and not line.prefetch_used:
+            line.prefetch_used = True
+            self.stats.prefetch_hits += 1
+            if line.fill_time > now:
+                self.stats.late_prefetch_hits += 1
+        ready = max(now, line.fill_time)
+        return ready + self.config.latency
+
+    # -- fills and evictions ----------------------------------------------
+    def fill(self, address: int, fill_time: int, dirty: bool = False,
+             from_prefetch: bool = False) -> Optional[int]:
+        """Install a block; returns the address of a dirty victim needing
+        writeback (``None`` otherwise)."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        if from_prefetch:
+            self.stats.prefetches_issued += 1
+        if tag in cache_set:
+            line = cache_set[tag]
+            # Keep the earliest availability time; refresh prefetch marking.
+            line.fill_time = min(line.fill_time, fill_time)
+            line.dirty = line.dirty or dirty
+            return None
+
+        victim_writeback: Optional[int] = None
+        if len(cache_set) >= self.config.associativity:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+            victim = cache_set.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim.from_prefetch and not victim.prefetch_used:
+                self.stats.prefetches_useless += 1
+            if victim.dirty:
+                if self.lookahead_mode:
+                    # Containment of speculation: discard silently.
+                    pass
+                else:
+                    self.stats.writebacks += 1
+                    block = victim_tag * self.config.num_sets + index
+                    victim_writeback = block * self.config.block_bytes
+
+        cache_set[tag] = _Line(
+            tag=tag,
+            fill_time=fill_time,
+            last_use=fill_time,
+            dirty=dirty,
+            from_prefetch=from_prefetch,
+        )
+        if not from_prefetch:
+            self._track_miss(fill_time)
+        return victim_writeback
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used when rebooting the look-ahead thread core)."""
+        self._sets = [dict() for _ in range(self.config.num_sets)]
+        self._outstanding = []
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)

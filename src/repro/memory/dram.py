@@ -1,0 +1,117 @@
+"""Main-memory timing and energy model.
+
+Stands in for the DDR3-1600 configuration of Table I plus the DRAMPower
+energy tool the paper uses.  Timing captures the first-order components that
+matter to a look-ahead study — row-buffer locality and bank-level queueing —
+without descending to per-command DDR state machines.  Energy is an
+activity-based model: per-access activate/read/write/precharge energy plus a
+background term proportional to elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DramConfig:
+    """Timing/energy parameters for main memory (per-core-cycle units)."""
+
+    #: Core cycles per DRAM access when the row is already open.
+    row_hit_latency: int = 110
+    #: Core cycles when a new row must be activated (tRP + tRCD + CAS).
+    row_miss_latency: int = 190
+    #: Number of independent banks (channels x ranks x banks collapsed).
+    num_banks: int = 32
+    row_bytes: int = 8192
+    #: Additional queueing delay applied per already-pending request on a bank.
+    bank_busy_penalty: int = 24
+    # -- energy (arbitrary units per event; ratios follow DDR3 datasheets) --
+    energy_activate: float = 18.0
+    energy_read: float = 10.0
+    energy_write: float = 12.0
+    energy_background_per_kcycle: float = 4.0
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_delay_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DramModel:
+    """Open-page main memory with per-bank row buffers and simple queueing."""
+
+    def __init__(self, config: DramConfig = None) -> None:
+        self.config = config or DramConfig()
+        self.stats = DramStats()
+        self._open_rows: Dict[int, int] = {}
+        self._bank_ready: Dict[int, int] = {}
+        self._dynamic_energy = 0.0
+        self._last_access_cycle = 0
+
+    # ------------------------------------------------------------------
+    def _bank_and_row(self, address: int) -> (int, int):
+        row = address // self.config.row_bytes
+        bank = row % self.config.num_banks
+        return bank, row
+
+    def access(self, address: int, now: int, is_write: bool = False) -> int:
+        """Perform one access; returns the cycle at which data is available."""
+        cfg = self.config
+        bank, row = self._bank_and_row(address)
+
+        ready = self._bank_ready.get(bank, 0)
+        start = max(now, ready)
+        queue_delay = start - now
+        if ready > now:
+            # The bank is still busy with a previous request.
+            self.stats.busy_delay_cycles += queue_delay
+
+        if self._open_rows.get(bank) == row:
+            latency = cfg.row_hit_latency
+            self.stats.row_hits += 1
+        else:
+            latency = cfg.row_miss_latency
+            self.stats.row_misses += 1
+            self._dynamic_energy += cfg.energy_activate
+            self._open_rows[bank] = row
+
+        if is_write:
+            self.stats.writes += 1
+            self._dynamic_energy += cfg.energy_write
+        else:
+            self.stats.reads += 1
+            self._dynamic_energy += cfg.energy_read
+
+        finish = start + latency
+        self._bank_ready[bank] = start + cfg.bank_busy_penalty
+        self._last_access_cycle = max(self._last_access_cycle, finish)
+        return finish
+
+    # ------------------------------------------------------------------
+    def energy(self, elapsed_cycles: int) -> float:
+        """Total DRAM energy over ``elapsed_cycles`` of execution."""
+        background = self.config.energy_background_per_kcycle * elapsed_cycles / 1000.0
+        return self._dynamic_energy + background
+
+    @property
+    def dynamic_energy(self) -> float:
+        return self._dynamic_energy
+
+    @property
+    def traffic(self) -> int:
+        """Total number of DRAM data transfers (reads plus writes)."""
+        return self.stats.accesses

@@ -1,0 +1,199 @@
+"""Composition of the cache levels into per-core and shared memory systems."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.tlb import Tlb, TlbConfig
+
+
+class AccessType(enum.Enum):
+    INSTRUCTION = "instruction"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access through the hierarchy."""
+
+    #: Cycle at which the data is available to the core.
+    ready_cycle: int
+    #: Total added latency relative to the issuing cycle.
+    latency: int
+    #: Name of the level that supplied the data ("l1", "l2", "l3", "dram").
+    supplied_by: str
+    #: True when the L1 lookup missed (used for MPKI accounting).
+    l1_miss: bool
+    #: True when the access had to go all the way to DRAM.
+    dram_access: bool
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Cache/TLB/DRAM parameters mirroring Table I of the paper."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1i", size_bytes=32 * 1024, associativity=4, latency=1, mshr_entries=32))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1d", size_bytes=32 * 1024, associativity=4, latency=3, mshr_entries=32))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l2", size_bytes=256 * 1024, associativity=8, latency=9, mshr_entries=32))
+    l3: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l3", size_bytes=2 * 1024 * 1024, associativity=16, latency=36, mshr_entries=64))
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+
+
+class SharedMemorySystem:
+    """The shared L3 plus main memory, used by every core in the system."""
+
+    def __init__(self, config: MemoryHierarchyConfig = None) -> None:
+        self.config = config or MemoryHierarchyConfig()
+        self.l3 = Cache(self.config.l3)
+        self.dram = DramModel(self.config.dram)
+
+    def access(self, address: int, now: int, is_write: bool = False) -> AccessResult:
+        """Access that already missed the private levels of some core."""
+        ready = self.l3.lookup(address, now, is_write)
+        if ready is not None:
+            return AccessResult(ready, ready - now, "l3", l1_miss=True, dram_access=False)
+        dram_ready = self.dram.access(address, now + self.config.l3.latency, is_write)
+        writeback = self.l3.fill(address, dram_ready, dirty=is_write)
+        if writeback is not None:
+            self.dram.access(writeback, dram_ready, is_write=True)
+        return AccessResult(dram_ready, dram_ready - now, "dram", l1_miss=True, dram_access=True)
+
+    def prefetch(self, address: int, now: int) -> int:
+        """Install ``address`` into L3 (if absent); returns its fill time."""
+        if self.l3.probe(address):
+            return now
+        dram_ready = self.dram.access(address, now + self.config.l3.latency)
+        self.l3.fill(address, dram_ready, from_prefetch=True)
+        return dram_ready
+
+    @property
+    def traffic(self) -> int:
+        """Total DRAM transfers (the memory-traffic metric of Fig. 12b)."""
+        return self.dram.traffic
+
+
+class CoreMemorySystem:
+    """Private L1 I/D, L2 and TLB of one core, backed by a shared system.
+
+    ``lookahead_mode`` enables the containment-of-speculation behaviour from
+    Sec. III-A: the private caches never write back dirty data (it is simply
+    discarded on eviction) and never supply data to other cores.
+    """
+
+    def __init__(self, shared: SharedMemorySystem,
+                 config: MemoryHierarchyConfig = None,
+                 lookahead_mode: bool = False) -> None:
+        self.config = config or shared.config
+        self.shared = shared
+        self.lookahead_mode = lookahead_mode
+        self.l1i = Cache(self.config.l1i, lookahead_mode=lookahead_mode)
+        self.l1d = Cache(self.config.l1d, lookahead_mode=lookahead_mode)
+        self.l2 = Cache(self.config.l2, lookahead_mode=lookahead_mode)
+        self.tlb = Tlb(self.config.tlb)
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+    def access(self, address: int, now: int, access_type: AccessType) -> AccessResult:
+        """Demand access for data or instructions."""
+        is_instruction = access_type is AccessType.INSTRUCTION
+        is_write = access_type is AccessType.STORE
+        l1 = self.l1i if is_instruction else self.l1d
+
+        tlb_penalty = 0
+        if not is_instruction:
+            tlb_penalty = self.tlb.access(address, now)
+
+        ready = l1.lookup(address, now + tlb_penalty, is_write)
+        if ready is not None:
+            return AccessResult(ready, ready - now, "l1", l1_miss=False, dram_access=False)
+
+        issue = now + tlb_penalty + l1.config.latency
+        l2_ready = self.l2.lookup(address, issue, is_write)
+        if l2_ready is not None:
+            self._fill_l1(l1, address, l2_ready, is_write)
+            return AccessResult(l2_ready, l2_ready - now, "l2", l1_miss=True, dram_access=False)
+
+        shared_result = self.shared.access(address, issue + self.l2.config.latency, is_write)
+        self._fill_l2(address, shared_result.ready_cycle, is_write)
+        self._fill_l1(l1, address, shared_result.ready_cycle, is_write)
+        return AccessResult(
+            shared_result.ready_cycle,
+            shared_result.ready_cycle - now,
+            shared_result.supplied_by,
+            l1_miss=True,
+            dram_access=shared_result.dram_access,
+        )
+
+    def _fill_l1(self, l1: Cache, address: int, fill_time: int, dirty: bool) -> None:
+        writeback = l1.fill(address, fill_time, dirty=dirty)
+        if writeback is not None and not self.lookahead_mode:
+            self.l2.fill(writeback, fill_time, dirty=True)
+
+    def _fill_l2(self, address: int, fill_time: int, dirty: bool) -> None:
+        writeback = self.l2.fill(address, fill_time, dirty=dirty)
+        if writeback is not None and not self.lookahead_mode:
+            # Dirty L2 victims go to the shared system as write traffic.
+            self.shared.dram.access(writeback, fill_time, is_write=True)
+
+    # ------------------------------------------------------------------
+    # prefetch path
+    # ------------------------------------------------------------------
+    def prefetch(self, address: int, now: int, level: str = "l1") -> int:
+        """Prefetch ``address`` into ``level`` ("l1" or "l2"); returns fill time.
+
+        Prefetches traverse the hierarchy like demand misses (so they create
+        real DRAM traffic and timing), but fill with ``from_prefetch=True`` so
+        usefulness statistics can be collected.
+        """
+        if level not in ("l1", "l2"):
+            raise ValueError("prefetch level must be 'l1' or 'l2'")
+        if level == "l1" and self.l1d.probe(address):
+            return now
+        if self.l2.probe(address):
+            fill_time = now + self.l2.config.latency
+        else:
+            shared_result = self.shared.access(address, now + self.l2.config.latency)
+            fill_time = shared_result.ready_cycle
+            self.l2.fill(address, fill_time, from_prefetch=True)
+        if level == "l1":
+            self.l1d.fill(address, fill_time, from_prefetch=True)
+        return fill_time
+
+    def prefetch_instruction(self, address: int, now: int) -> int:
+        """Prefetch an instruction block into the L1 I-cache."""
+        if self.l1i.probe(address):
+            return now
+        if self.l2.probe(address):
+            fill_time = now + self.l2.config.latency
+        else:
+            shared_result = self.shared.access(address, now + self.l2.config.latency)
+            fill_time = shared_result.ready_cycle
+            self.l2.fill(address, fill_time, from_prefetch=True)
+        self.l1i.fill(address, fill_time, from_prefetch=True)
+        return fill_time
+
+    def prefill_tlb(self, address: int, now: int) -> None:
+        self.tlb.prefill(address, now)
+
+    # ------------------------------------------------------------------
+    def l1d_misses(self) -> int:
+        return self.l1d.stats.misses
+
+    def reset_for_reboot(self) -> None:
+        """Nothing is architecturally lost on a look-ahead reboot; private
+        caches keep their (clean) contents, matching the paper's design where
+        a reboot only re-initialises the register state of the look-ahead
+        thread."""
+        # Intentionally a no-op other than documenting the behaviour.
+        return None

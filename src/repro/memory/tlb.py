@@ -1,0 +1,75 @@
+"""A small fully-associative data TLB.
+
+The look-ahead thread sends TLB hints through the footnote queue whenever it
+misses in the TLB (Sec. III-A of the paper), so the main thread's TLB can be
+warmed ahead of time.  The model below is a fully associative LRU TLB with a
+fixed page-walk penalty; a ``prefill`` entry point implements the hint path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class TlbConfig:
+    entries: int = 64
+    page_bytes: int = 4096
+    #: Page-walk latency in core cycles charged on a TLB miss.
+    miss_penalty: int = 30
+
+
+@dataclass
+class TlbStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefills: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """Fully-associative LRU TLB."""
+
+    def __init__(self, config: TlbConfig = None) -> None:
+        self.config = config or TlbConfig()
+        self.stats = TlbStats()
+        self._entries: Dict[int, int] = {}   # vpn -> last-use time
+
+    def _vpn(self, address: int) -> int:
+        return address // self.config.page_bytes
+
+    def access(self, address: int, now: int) -> int:
+        """Translate; returns the added latency (0 on hit, miss_penalty on miss)."""
+        self.stats.accesses += 1
+        vpn = self._vpn(address)
+        if vpn in self._entries:
+            self.stats.hits += 1
+            self._entries[vpn] = now
+            return 0
+        self.stats.misses += 1
+        self._insert(vpn, now)
+        return self.config.miss_penalty
+
+    def prefill(self, address: int, now: int) -> None:
+        """Install a translation ahead of use (look-ahead TLB hint)."""
+        vpn = self._vpn(address)
+        if vpn not in self._entries:
+            self.stats.prefills += 1
+        self._insert(vpn, now)
+
+    def _insert(self, vpn: int, now: int) -> None:
+        if len(self._entries) >= self.config.entries and vpn not in self._entries:
+            victim = min(self._entries, key=self._entries.get)
+            del self._entries[victim]
+        self._entries[vpn] = now
+
+    def contains(self, address: int) -> bool:
+        return self._vpn(address) in self._entries
+
+    def flush(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,132 @@
+"""Best-Offset Prefetcher (Michaud, HPCA 2016).
+
+BOP is the L2 prefetcher of the paper's baseline configuration (256 recent
+request table entries, a 52-entry offset candidate list).  The algorithm
+learns, over successive evaluation rounds, the single offset ``D`` such that
+for most demanded lines ``X``, line ``X - D`` was requested recently — i.e.
+prefetching ``X + D`` would have been timely.  The implementation below
+follows the published algorithm: round-robin scoring of candidate offsets
+against a recent-requests (RR) table, promotion of the winner at the end of a
+round, and a score threshold below which prefetching is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+
+
+def _default_offsets() -> List[int]:
+    """The 52-candidate offset list from the BOP paper.
+
+    Offsets are of the form ``2^i * 3^j * 5^k`` up to 256, which covers the
+    strides produced by common loop nests while keeping the list short.
+    """
+    candidates = set()
+    for i in range(9):
+        for j in range(6):
+            for k in range(4):
+                value = (2 ** i) * (3 ** j) * (5 ** k)
+                if 1 <= value <= 256:
+                    candidates.add(value)
+    ordered = sorted(candidates)
+    return ordered[:52]
+
+
+@dataclass
+class BestOffsetConfig:
+    rr_entries: int = 256
+    offsets: List[int] = field(default_factory=_default_offsets)
+    block_bytes: int = 64
+    #: Rounds end after this many scored accesses.
+    round_max: int = 100
+    #: An offset reaching this score is selected immediately.
+    score_max: int = 31
+    #: Winners scoring below this leave prefetching off for the next round.
+    bad_score: int = 1
+    target_level: str = "l2"
+
+
+class BestOffsetPrefetcher(Prefetcher):
+    """Offset prefetcher with RR-table-based timeliness scoring."""
+
+    def __init__(self, config: BestOffsetConfig = None, **overrides) -> None:
+        self.config = config or BestOffsetConfig(**overrides)
+        self.target_level = self.config.target_level
+        self._rr: Dict[int, int] = {}            # block -> insertion order
+        self._rr_order = 0
+        self._scores: Dict[int, int] = {off: 0 for off in self.config.offsets}
+        self._test_index = 0
+        self._round_accesses = 0
+        self._current_offset: Optional[int] = 1  # start with next-line behaviour
+        self._prefetch_on = True
+
+    # ------------------------------------------------------------------
+    def _rr_insert(self, block: int) -> None:
+        if block in self._rr:
+            self._rr[block] = self._rr_order
+        else:
+            if len(self._rr) >= self.config.rr_entries:
+                victim = min(self._rr, key=self._rr.get)
+                del self._rr[victim]
+            self._rr[block] = self._rr_order
+        self._rr_order += 1
+
+    def _end_round(self) -> None:
+        best_offset = max(self._scores, key=self._scores.get)
+        best_score = self._scores[best_offset]
+        if best_score <= self.config.bad_score:
+            self._prefetch_on = False
+            self._current_offset = None
+        else:
+            self._prefetch_on = True
+            self._current_offset = best_offset
+        self._scores = {off: 0 for off in self.config.offsets}
+        self._round_accesses = 0
+        self._test_index = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, pc: int, address: int, hit: bool, cycle: int) -> List[PrefetchRequest]:
+        block = address // self.config.block_bytes
+
+        # Score one candidate offset per (miss or prefetch-hit) access.
+        offsets = self.config.offsets
+        tested = offsets[self._test_index % len(offsets)]
+        self._test_index += 1
+        if (block - tested) in self._rr:
+            self._scores[tested] += 1
+            if self._scores[tested] >= self.config.score_max:
+                self._current_offset = tested
+                self._prefetch_on = True
+                self._scores = {off: 0 for off in offsets}
+                self._round_accesses = 0
+                self._test_index = 0
+        self._round_accesses += 1
+        if self._round_accesses >= self.config.round_max:
+            self._end_round()
+
+        # The line being demanded now will (once filled) become a "recent
+        # request" that future offsets are scored against.
+        self._rr_insert(block)
+
+        if not self._prefetch_on or self._current_offset is None:
+            return []
+        target_block = block + self._current_offset
+        return [PrefetchRequest(target_block * self.config.block_bytes,
+                                level=self.config.target_level)]
+
+    def reset(self) -> None:
+        self._rr.clear()
+        self._rr_order = 0
+        self._scores = {off: 0 for off in self.config.offsets}
+        self._test_index = 0
+        self._round_accesses = 0
+        self._current_offset = 1
+        self._prefetch_on = True
+
+    @property
+    def current_offset(self) -> Optional[int]:
+        """Offset currently used for prefetching (``None`` when disabled)."""
+        return self._current_offset

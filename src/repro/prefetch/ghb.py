@@ -1,0 +1,106 @@
+"""Global History Buffer (GHB) prefetcher, PC-localised delta correlation.
+
+One of the seven "state of the art" prefetchers the paper's authors swept
+when choosing their baseline L2 prefetcher (Nesbit & Smith, HPCA 2004).  The
+implementation keeps a global circular buffer of misses, with per-PC linked
+lists threading through it; on each trigger it reconstructs the recent delta
+history for the PC and, when the last two deltas correlate with an earlier
+occurrence, prefetches the deltas that followed that occurrence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+
+
+@dataclass
+class _GhbEntry:
+    address: int
+    prev_index: Optional[int]          # previous entry for the same PC
+
+
+class GlobalHistoryBufferPrefetcher(Prefetcher):
+    """PC/DC (delta-correlation) flavour of the GHB prefetcher."""
+
+    def __init__(self, buffer_entries: int = 256, index_entries: int = 256,
+                 degree: int = 4, block_bytes: int = 64,
+                 target_level: str = "l2") -> None:
+        self.buffer_entries = buffer_entries
+        self.index_entries = index_entries
+        self.degree = degree
+        self.block_bytes = block_bytes
+        self.target_level = target_level
+        self._buffer: List[Optional[_GhbEntry]] = [None] * buffer_entries
+        self._head = 0
+        self._count = 0
+        self._index: Dict[int, int] = {}   # pc -> most recent buffer position
+
+    # ------------------------------------------------------------------
+    def _pc_history(self, pc: int, max_entries: int = 16) -> List[int]:
+        """Most recent addresses for ``pc``, newest first."""
+        history: List[int] = []
+        position = self._index.get(pc)
+        oldest_valid = self._head - min(self._count, self.buffer_entries)
+        while position is not None and position >= oldest_valid and len(history) < max_entries:
+            entry = self._buffer[position % self.buffer_entries]
+            if entry is None:
+                break
+            history.append(entry.address)
+            position = entry.prev_index
+        return history
+
+    def observe(self, pc: int, address: int, hit: bool, cycle: int) -> List[PrefetchRequest]:
+        if hit:
+            return []
+        requests = self._correlate(pc, address)
+        self._insert(pc, address)
+        return requests
+
+    def _insert(self, pc: int, address: int) -> None:
+        prev = self._index.get(pc)
+        slot = self._head % self.buffer_entries
+        self._buffer[slot] = _GhbEntry(address=address, prev_index=prev)
+        self._index[pc] = self._head
+        self._head += 1
+        self._count += 1
+        if len(self._index) > self.index_entries:
+            victim = min(self._index, key=self._index.get)
+            del self._index[victim]
+
+    def _correlate(self, pc: int, address: int) -> List[PrefetchRequest]:
+        history = self._pc_history(pc)
+        if len(history) < 3:
+            return []
+        addresses = [address] + history            # newest first
+        deltas = [addresses[i] - addresses[i + 1] for i in range(len(addresses) - 1)]
+        if len(deltas) < 3:
+            return []
+        pair = (deltas[0], deltas[1])
+        # Search for an earlier occurrence of the same delta pair.
+        for start in range(2, len(deltas) - 1):
+            if (deltas[start], deltas[start + 1]) == pair:
+                # Replay the deltas that followed that occurrence (which are
+                # the *earlier* positions in our newest-first list).
+                replay = deltas[max(0, start - self.degree):start][::-1]
+                requests = []
+                target = address
+                seen = {address // self.block_bytes}
+                for delta in replay:
+                    target += delta
+                    block = target // self.block_bytes
+                    if block not in seen and target >= 0:
+                        seen.add(block)
+                        requests.append(
+                            PrefetchRequest(target, level=self.target_level))
+                return requests
+        return []
+
+    def reset(self) -> None:
+        self._buffer = [None] * self.buffer_entries
+        self._head = 0
+        self._count = 0
+        self._index.clear()

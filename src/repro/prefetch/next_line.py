@@ -1,0 +1,32 @@
+"""Next-N-line prefetcher — the simplest possible sequential prefetcher."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On every miss, prefetch the following ``degree`` cache lines."""
+
+    def __init__(self, degree: int = 1, block_bytes: int = 64,
+                 target_level: str = "l2", on_hit: bool = False) -> None:
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        self.degree = degree
+        self.block_bytes = block_bytes
+        self.target_level = target_level
+        self.on_hit = on_hit
+
+    def observe(self, pc: int, address: int, hit: bool, cycle: int) -> List[PrefetchRequest]:
+        if hit and not self.on_hit:
+            return []
+        block = address // self.block_bytes
+        return [
+            PrefetchRequest((block + i) * self.block_bytes, level=self.target_level)
+            for i in range(1, self.degree + 1)
+        ]
+
+    def reset(self) -> None:
+        return None

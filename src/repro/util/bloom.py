@@ -1,0 +1,104 @@
+"""A small counting Bloom filter.
+
+The paper's value-reuse optimization stores the PCs of "slow" instructions in
+a *Slow Instruction Filter* (SIF), which it describes as a bloom filter that
+supports insertion, membership queries and deletion (an entry is removed when
+a value prediction turns out to be wrong).  Deletion requires a *counting*
+bloom filter, which is what this module provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class BloomFilter:
+    """Counting Bloom filter over integer keys (instruction PCs).
+
+    Parameters
+    ----------
+    num_bits:
+        Number of counters in the filter.
+    num_hashes:
+        Number of hash functions applied per key.
+
+    Notes
+    -----
+    Hashing uses a simple multiplicative scheme with distinct odd multipliers
+    per hash function, which is adequate for the word-aligned PC values used
+    throughout the simulator and keeps the implementation dependency-free and
+    deterministic.
+    """
+
+    _MULTIPLIERS = (
+        0x9E3779B97F4A7C15,
+        0xC2B2AE3D27D4EB4F,
+        0x165667B19E3779F9,
+        0x27D4EB2F165667C5,
+        0x85EBCA6B2B2AE35D,
+    )
+
+    def __init__(self, num_bits: int = 1024, num_hashes: int = 3) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if not 1 <= num_hashes <= len(self._MULTIPLIERS):
+            raise ValueError(
+                f"num_hashes must be between 1 and {len(self._MULTIPLIERS)}"
+            )
+        self._counters = [0] * num_bits
+        self._num_bits = num_bits
+        self._num_hashes = num_hashes
+        self._keys = set()
+
+    # -- hashing ---------------------------------------------------------
+    def _indices(self, key: int) -> Iterator[int]:
+        for i in range(self._num_hashes):
+            mixed = (key * self._MULTIPLIERS[i]) & 0xFFFFFFFFFFFFFFFF
+            mixed ^= mixed >> 31
+            yield mixed % self._num_bits
+
+    # -- public API ------------------------------------------------------
+    def add(self, key: int) -> None:
+        """Insert ``key`` into the filter (idempotent per key)."""
+        if key in self._keys:
+            return
+        self._keys.add(key)
+        for idx in self._indices(key):
+            self._counters[idx] += 1
+
+    def remove(self, key: int) -> bool:
+        """Remove ``key`` from the filter.
+
+        Returns ``True`` if the key had been inserted, ``False`` otherwise.
+        Removing a key that was never added leaves the filter untouched,
+        mirroring how hardware would simply ignore such a request.
+        """
+        if key not in self._keys:
+            return False
+        self._keys.discard(key)
+        for idx in self._indices(key):
+            self._counters[idx] -= 1
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._counters[idx] > 0 for idx in self._indices(key))
+
+    def clear(self) -> None:
+        """Reset the filter to the empty state."""
+        self._counters = [0] * self._num_bits
+        self._keys.clear()
+
+    def update(self, keys: Iterable[int]) -> None:
+        """Insert many keys at once."""
+        for key in keys:
+            self.add(key)
+
+    def __len__(self) -> int:
+        """Number of distinct keys inserted (exact, for introspection)."""
+        return len(self._keys)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of counters that are non-zero."""
+        occupied = sum(1 for c in self._counters if c > 0)
+        return occupied / self._num_bits

@@ -1,0 +1,103 @@
+"""Bounded FIFO queue used for the BOQ and FQ hardware structures."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """Raised when pushing to a full :class:`BoundedFifo`."""
+
+
+class QueueEmptyError(RuntimeError):
+    """Raised when popping from an empty :class:`BoundedFifo`."""
+
+
+class BoundedFifo(Generic[T]):
+    """A FIFO with a hard capacity limit.
+
+    Hardware queues such as the Branch Outcome Queue (BOQ) and the Footnote
+    Queue (FQ) have a fixed number of entries; the producing core must stall
+    when they are full and the consuming core must stall when they are empty.
+    This class models exactly that, and additionally records high-water-mark
+    and stall statistics that the experiments use.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._items: deque[T] = deque()
+        self.high_water_mark = 0
+        self.push_count = 0
+        self.pop_count = 0
+        self.full_rejections = 0
+        self.empty_rejections = 0
+
+    # -- capacity --------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def free_slots(self) -> int:
+        return self._capacity - len(self._items)
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # -- mutation --------------------------------------------------------
+    def push(self, item: T) -> None:
+        """Append ``item``; raises :class:`QueueFullError` when full."""
+        if self.is_full():
+            self.full_rejections += 1
+            raise QueueFullError(f"queue full (capacity={self._capacity})")
+        self._items.append(item)
+        self.push_count += 1
+        self.high_water_mark = max(self.high_water_mark, len(self._items))
+
+    def try_push(self, item: T) -> bool:
+        """Append ``item`` if space is available; returns success."""
+        if self.is_full():
+            self.full_rejections += 1
+            return False
+        self._items.append(item)
+        self.push_count += 1
+        self.high_water_mark = max(self.high_water_mark, len(self._items))
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest item; raises when empty."""
+        if self.is_empty():
+            self.empty_rejections += 1
+            raise QueueEmptyError("queue empty")
+        self.pop_count += 1
+        return self._items.popleft()
+
+    def try_pop(self) -> Optional[T]:
+        """Remove and return the oldest item, or ``None`` when empty."""
+        if self.is_empty():
+            self.empty_rejections += 1
+            return None
+        self.pop_count += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """Return the oldest item without removing it, or ``None``."""
+        return self._items[0] if self._items else None
+
+    def clear(self) -> None:
+        """Drop every queued item (used on look-ahead thread reboot)."""
+        self._items.clear()
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)

@@ -1,0 +1,69 @@
+"""Aggregate statistics helpers (geometric mean, normalization, ...).
+
+The paper reports nearly every result as a geometric mean across a benchmark
+suite with an I-beam showing the min/max range; these helpers implement those
+aggregations once so every experiment reports them consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises ``ValueError`` on an empty input or any non-positive element,
+    because silently returning 0/NaN would corrupt downstream speedup
+    summaries.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalize every value in ``values`` to the entry at ``baseline_key``."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline key {baseline_key!r} not present")
+    base = values[baseline_key]
+    if base == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return {key: value / base for key, value in values.items()}
+
+
+def value_range(values: Sequence[float]) -> Tuple[float, float]:
+    """(min, max) of a non-empty sequence — the paper's I-beam whiskers."""
+    if not values:
+        raise ValueError("value_range of empty sequence")
+    return min(values), max(values)
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Speedup of a configuration over a baseline given cycle counts."""
+    if improved_cycles <= 0:
+        raise ValueError("improved_cycles must be positive")
+    if baseline_cycles <= 0:
+        raise ValueError("baseline_cycles must be positive")
+    return baseline_cycles / improved_cycles

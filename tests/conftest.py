@@ -1,0 +1,75 @@
+"""Shared fixtures: small workloads, traces and profiles reused across tests.
+
+Everything here is session-scoped because building traces and profiles is the
+expensive part of the test suite; the objects are treated as read-only by the
+tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.dla.profiling import profile_workload
+from repro.emulator.machine import Emulator
+from repro.workloads.kernels import build_kernel
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture(scope="session")
+def small_stream_program():
+    """A small strided-streaming program (T1 / prefetch friendly)."""
+    return build_kernel("stream_sum", elements=384, passes=3, payload=6,
+                        rng=DeterministicRng(11), name="test-stream")
+
+
+@pytest.fixture(scope="session")
+def small_pointer_program():
+    """A small pointer-chasing program (irregular, dependent loads)."""
+    return build_kernel("pointer_chase", nodes=128, hops=600, payload=8,
+                        rng=DeterministicRng(12), name="test-chase")
+
+
+@pytest.fixture(scope="session")
+def small_branchy_program():
+    """A small data-dependent-branch program (hard to predict)."""
+    return build_kernel("branchy_compute", elements=600, taken_bias=0.5, payload=5,
+                        rng=DeterministicRng(13), name="test-branchy")
+
+
+@pytest.fixture(scope="session")
+def stream_trace(small_stream_program):
+    return Emulator(small_stream_program).run(max_instructions=12_000)
+
+
+@pytest.fixture(scope="session")
+def pointer_trace(small_pointer_program):
+    return Emulator(small_pointer_program).run(max_instructions=12_000)
+
+
+@pytest.fixture(scope="session")
+def branchy_trace(small_branchy_program):
+    return Emulator(small_branchy_program).run(max_instructions=12_000)
+
+
+@pytest.fixture(scope="session")
+def system_config():
+    return SystemConfig()
+
+
+@pytest.fixture(scope="session")
+def stream_profile(small_stream_program, stream_trace, system_config):
+    return profile_workload(small_stream_program, stream_trace, system_config,
+                            timing_window=4000)
+
+
+@pytest.fixture(scope="session")
+def pointer_profile(small_pointer_program, pointer_trace, system_config):
+    return profile_workload(small_pointer_program, pointer_trace, system_config,
+                            timing_window=4000)
+
+
+@pytest.fixture(scope="session")
+def branchy_profile(small_branchy_program, branchy_trace, system_config):
+    return profile_workload(small_branchy_program, branchy_trace, system_config,
+                            timing_window=4000)

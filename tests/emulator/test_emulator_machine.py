@@ -1,0 +1,147 @@
+"""Tests for the functional emulator semantics."""
+
+import pytest
+
+from repro.emulator.machine import Emulator, ExecutionLimitExceeded, run_program
+from repro.isa.builder import WORD_BYTES, ProgramBuilder
+from repro.isa.instructions import Opcode
+
+
+def _build(body):
+    b = ProgramBuilder("t")
+    body(b)
+    b.halt()
+    return b.build()
+
+
+def _run_and_register(body, register):
+    program = _build(body)
+    emulator = Emulator(program)
+    emulator.run(max_instructions=1000)
+    return emulator.registers[register]
+
+
+def test_arithmetic_semantics():
+    assert _run_and_register(lambda b: (b.li(1, 6), b.li(2, 7), b.mul(3, 1, 2)), 3) == 42
+    assert _run_and_register(lambda b: (b.li(1, 9), b.li(2, 4), b.sub(3, 1, 2)), 3) == 5
+    assert _run_and_register(lambda b: (b.li(1, 9), b.li(2, 4), b.div(3, 1, 2)), 3) == 2
+    assert _run_and_register(lambda b: (b.li(1, 9), b.li(2, 4), b.mod(3, 1, 2)), 3) == 1
+    assert _run_and_register(lambda b: (b.li(1, 12), b.li(2, 10), b.xor(3, 1, 2)), 3) == 6
+    assert _run_and_register(lambda b: (b.li(1, 3), b.li(2, 2), b.shl(3, 1, 2)), 3) == 12
+    assert _run_and_register(lambda b: (b.li(1, 12), b.li(2, 2), b.shr(3, 1, 2)), 3) == 3
+    assert _run_and_register(lambda b: (b.li(1, 3), b.li(2, 7), b.slt(3, 1, 2)), 3) == 1
+    assert _run_and_register(lambda b: (b.li(1, 7), b.li(2, 7), b.seq(3, 1, 2)), 3) == 1
+    assert _run_and_register(lambda b: (b.li(1, 5), b.addi(3, 1, -9)), 3) == -4
+
+
+def test_division_by_zero_yields_zero():
+    assert _run_and_register(lambda b: (b.li(1, 9), b.li(2, 0), b.div(3, 1, 2)), 3) == 0
+    assert _run_and_register(lambda b: (b.li(1, 9), b.li(2, 0), b.mod(3, 1, 2)), 3) == 0
+
+
+def test_zero_register_is_immutable():
+    assert _run_and_register(lambda b: (b.li(0, 55), b.addi(3, 0, 1)), 3) == 1
+
+
+def test_load_store_roundtrip():
+    def body(b):
+        addr = b.alloc_words(2, 0)
+        b.li(10, addr)
+        b.li(2, 1234)
+        b.store(10, 2, WORD_BYTES)
+        b.load(3, 10, WORD_BYTES)
+    assert _run_and_register(body, 3) == 1234
+
+
+def test_uninitialised_memory_reads_zero():
+    def body(b):
+        b.li(10, 0x9000)
+        b.load(3, 10, 0)
+    assert _run_and_register(body, 3) == 0
+
+
+def test_conditional_branches_follow_semantics():
+    def body(b):
+        b.li(1, 0)
+        b.li(3, 0)
+        b.beqz(1, "taken")
+        b.li(3, 111)
+        b.label("taken")
+        b.addi(3, 3, 1)
+    assert _run_and_register(body, 3) == 1
+
+
+def test_call_and_ret_use_link_register():
+    def body(b):
+        b.li(5, 0)
+        b.call("func")
+        b.addi(5, 5, 100)
+        b.jump("end")
+        b.label("func")
+        b.addi(5, 5, 1)
+        b.ret()
+        b.label("end")
+        b.nop()
+    assert _run_and_register(body, 5) == 101
+
+
+def test_trace_records_branch_outcomes_and_addresses():
+    b = ProgramBuilder("trace")
+    data = b.alloc_array([1, 2])
+    b.li(1, 2)
+    b.li(10, data)
+    b.label("loop")
+    b.load(2, 10, 0)
+    b.addi(10, 10, WORD_BYTES)
+    b.addi(1, 1, -1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = run_program(b.build())
+    loads = [e for e in trace if e.is_load]
+    assert [e.effective_address for e in loads] == [data, data + WORD_BYTES]
+    branches = [e for e in trace if e.is_branch]
+    assert [e.taken for e in branches] == [True, False]
+    assert trace.completed
+
+
+def test_strict_mode_raises_on_instruction_limit():
+    b = ProgramBuilder("infinite")
+    b.label("spin")
+    b.jump("spin")
+    b.halt()
+    program = b.build()
+    with pytest.raises(ExecutionLimitExceeded):
+        Emulator(program).run(max_instructions=50, strict=True)
+    trace = Emulator(program).run(max_instructions=50)
+    assert not trace.completed
+    assert len(trace) == 50
+
+
+def test_reset_restores_initial_state():
+    b = ProgramBuilder("reset")
+    addr = b.alloc_words(1, 7)
+    b.li(10, addr)
+    b.load(1, 10, 0)
+    b.addi(1, 1, 1)
+    b.store(10, 1, 0)
+    b.halt()
+    program = b.build()
+    emulator = Emulator(program)
+    first = emulator.run()
+    second = emulator.run()
+    assert [e.result for e in first] == [e.result for e in second]
+
+
+def test_trace_class_mix_and_counts(stream_trace):
+    mix = stream_trace.class_mix()
+    assert sum(mix.values()) == len(stream_trace)
+    assert stream_trace.load_count() > 0
+    assert stream_trace.branch_count() > 0
+    counts = stream_trace.pc_execution_counts()
+    assert sum(counts.values()) == len(stream_trace)
+
+
+def test_trace_window_slices_entries(stream_trace):
+    window = stream_trace.window(10, 50)
+    assert len(window) == 50
+    assert window[0].seq == stream_trace[10].seq

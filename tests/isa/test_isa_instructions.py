@@ -1,0 +1,61 @@
+"""Tests for the static instruction representation."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, LatencyClass, OpClass, Opcode
+from repro.isa.registers import ZERO_REGISTER, register_name, validate_register
+
+
+def test_instruction_classification():
+    load = Instruction(0, Opcode.LOAD, dst=1, srcs=(2,), imm=8)
+    assert load.is_load and load.is_memory and not load.is_branch
+    store = Instruction(1, Opcode.STORE, srcs=(2, 3), imm=0)
+    assert store.is_store and store.is_memory and store.dst is None
+    branch = Instruction(2, Opcode.BNEZ, srcs=(4,), target=0)
+    assert branch.is_branch and branch.is_control
+    jump = Instruction(3, Opcode.JUMP, target=0)
+    assert jump.is_control and not jump.is_branch
+    alu = Instruction(4, Opcode.ADD, dst=5, srcs=(1, 2))
+    assert not alu.is_control and not alu.is_memory
+
+
+def test_op_class_mapping():
+    assert Instruction(0, Opcode.MUL, dst=1, srcs=(2, 3)).op_class is OpClass.INT_MUL
+    assert Instruction(0, Opcode.FDIV, dst=1, srcs=(2, 3)).op_class is OpClass.FP_DIV
+    assert Instruction(0, Opcode.CALL, dst=31, target=0).op_class is OpClass.CALL
+    assert Instruction(0, Opcode.NOP).op_class is OpClass.NOP
+
+
+def test_latencies_are_positive_and_divides_are_long():
+    for op_class in OpClass:
+        assert LatencyClass.latency_of(op_class) >= 1
+    assert LatencyClass.latency_of(OpClass.INT_DIV) > LatencyClass.latency_of(OpClass.INT_ALU)
+    assert LatencyClass.latency_of(OpClass.FP_DIV) > LatencyClass.latency_of(OpClass.FP_ALU)
+
+
+def test_writes_register_ignores_zero_register():
+    assert not Instruction(0, Opcode.ADD, dst=ZERO_REGISTER, srcs=(1, 2)).writes_register
+    assert Instruction(0, Opcode.ADD, dst=3, srcs=(1, 2)).writes_register
+
+
+def test_invalid_registers_rejected():
+    with pytest.raises(ValueError):
+        Instruction(0, Opcode.ADD, dst=99, srcs=(1, 2))
+    with pytest.raises(ValueError):
+        Instruction(0, Opcode.ADD, dst=1, srcs=(1, -3))
+    with pytest.raises(ValueError):
+        validate_register(32)
+
+
+def test_register_names():
+    assert register_name(0) == "zero"
+    assert register_name(31) == "ra"
+    assert register_name(30) == "sp"
+    assert register_name(5) == "r5"
+    with pytest.raises(ValueError):
+        register_name(99)
+
+
+def test_byte_address_uses_fixed_instruction_size():
+    inst = Instruction(10, Opcode.NOP)
+    assert inst.byte_address == 40

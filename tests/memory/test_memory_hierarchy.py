@@ -1,0 +1,101 @@
+"""Tests for the composed memory hierarchy."""
+
+from repro.memory.hierarchy import (
+    AccessType,
+    CoreMemorySystem,
+    MemoryHierarchyConfig,
+    SharedMemorySystem,
+)
+
+
+def _core_memory(lookahead=False):
+    config = MemoryHierarchyConfig()
+    shared = SharedMemorySystem(config)
+    return shared, CoreMemorySystem(shared, config, lookahead_mode=lookahead)
+
+
+def test_first_access_goes_to_dram_then_hits_l1():
+    shared, memory = _core_memory()
+    first = memory.access(0x8000, 0, AccessType.LOAD)
+    assert first.supplied_by == "dram"
+    assert first.dram_access and first.l1_miss
+    second = memory.access(0x8000, first.ready_cycle + 1, AccessType.LOAD)
+    assert second.supplied_by == "l1"
+    assert not second.l1_miss
+
+
+def test_latency_ordering_across_levels():
+    shared, memory = _core_memory()
+    dram_access = memory.access(0x10000, 0, AccessType.LOAD)
+    # Evict nothing; a different core missing its private levels hits L3.
+    other = CoreMemorySystem(shared, shared.config)
+    l3_access = other.access(0x10000, 10_000, AccessType.LOAD)
+    assert l3_access.supplied_by in ("l3", "dram")
+    assert l3_access.latency < dram_access.latency
+
+
+def test_shared_l3_serves_second_core():
+    shared, memory_a = _core_memory()
+    memory_b = CoreMemorySystem(shared, shared.config)
+    memory_a.access(0x20000, 0, AccessType.LOAD)
+    result = memory_b.access(0x20000, 5_000, AccessType.LOAD)
+    assert result.supplied_by == "l3"
+    assert not result.dram_access
+
+
+def test_prefetch_into_l1_turns_demand_miss_into_hit():
+    shared, memory = _core_memory()
+    fill_time = memory.prefetch(0x30000, now=0, level="l1")
+    result = memory.access(0x30000, fill_time + 10, AccessType.LOAD)
+    assert result.supplied_by == "l1"
+
+
+def test_prefetch_into_l2_leaves_l1_miss_but_short_latency():
+    shared, memory = _core_memory()
+    fill_time = memory.prefetch(0x40000, now=0, level="l2")
+    result = memory.access(0x40000, fill_time + 10, AccessType.LOAD)
+    assert result.l1_miss
+    assert result.supplied_by == "l2"
+
+
+def test_instruction_prefetch_warms_icache():
+    shared, memory = _core_memory()
+    memory.prefetch_instruction(0x100, now=0)
+    result = memory.access(0x100, 1000, AccessType.INSTRUCTION)
+    assert result.supplied_by == "l1"
+
+
+def test_store_counts_as_write_traffic_on_miss():
+    shared, memory = _core_memory()
+    before = shared.traffic
+    memory.access(0x50000, 0, AccessType.STORE)
+    assert shared.traffic > before
+
+
+def test_lookahead_mode_never_writes_back_dirty_data():
+    shared, memory = _core_memory(lookahead=True)
+    # Dirty a line, then stream enough conflicting blocks through the same
+    # set to force its eviction; DRAM write traffic must not grow.
+    memory.access(0x60000, 0, AccessType.STORE)
+    writes_before = shared.dram.stats.writes
+    block = shared.config.l1d.block_bytes
+    stride = shared.config.l1d.num_sets * block
+    for i in range(1, 40):
+        memory.access(0x60000 + i * stride, i * 10, AccessType.LOAD)
+    assert shared.dram.stats.writes == writes_before
+
+
+def test_tlb_miss_penalty_included_in_data_access():
+    shared, memory = _core_memory()
+    memory.access(0x70000, 0, AccessType.LOAD)
+    assert memory.tlb.stats.misses >= 1
+
+
+def test_prefetch_level_validation():
+    shared, memory = _core_memory()
+    try:
+        memory.prefetch(0x100, 0, level="l3")
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("invalid prefetch level accepted")

@@ -1,0 +1,84 @@
+"""Tests for the counting Bloom filter used by the Slow Instruction Filter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bloom import BloomFilter
+
+
+def test_empty_filter_contains_nothing():
+    bloom = BloomFilter(256, 3)
+    assert 42 not in bloom
+    assert len(bloom) == 0
+
+
+def test_added_keys_are_members():
+    bloom = BloomFilter(512, 3)
+    for key in (1, 100, 9999, 123456):
+        bloom.add(key)
+    for key in (1, 100, 9999, 123456):
+        assert key in bloom
+
+
+def test_remove_deletes_membership():
+    bloom = BloomFilter(512, 3)
+    bloom.add(77)
+    assert 77 in bloom
+    assert bloom.remove(77) is True
+    assert 77 not in bloom
+
+
+def test_remove_unknown_key_returns_false():
+    bloom = BloomFilter(64, 2)
+    assert bloom.remove(5) is False
+
+
+def test_add_is_idempotent():
+    bloom = BloomFilter(128, 3)
+    bloom.add(9)
+    bloom.add(9)
+    assert len(bloom) == 1
+    assert bloom.remove(9) is True
+    assert 9 not in bloom
+
+
+def test_clear_resets_state():
+    bloom = BloomFilter(128, 2)
+    bloom.update(range(20))
+    bloom.clear()
+    assert len(bloom) == 0
+    assert all(key not in bloom for key in range(20))
+
+
+def test_fill_ratio_grows_with_insertions():
+    bloom = BloomFilter(256, 3)
+    assert bloom.fill_ratio == 0.0
+    bloom.update(range(50))
+    assert 0.0 < bloom.fill_ratio <= 1.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BloomFilter(0, 1)
+    with pytest.raises(ValueError):
+        BloomFilter(16, 0)
+    with pytest.raises(ValueError):
+        BloomFilter(16, 99)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=1 << 40), max_size=60))
+def test_no_false_negatives(keys):
+    bloom = BloomFilter(2048, 3)
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=1 << 32), min_size=1, max_size=40))
+def test_remove_all_restores_empty_counters(keys):
+    bloom = BloomFilter(1024, 3)
+    for key in keys:
+        bloom.add(key)
+    for key in keys:
+        assert bloom.remove(key)
+    assert bloom.fill_ratio == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the bounded FIFO used by the BOQ and FQ."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.fifo import BoundedFifo, QueueEmptyError, QueueFullError
+
+
+def test_push_pop_preserves_fifo_order():
+    fifo = BoundedFifo(8)
+    for value in range(5):
+        fifo.push(value)
+    assert [fifo.pop() for _ in range(5)] == list(range(5))
+
+
+def test_push_to_full_queue_raises():
+    fifo = BoundedFifo(2)
+    fifo.push(1)
+    fifo.push(2)
+    with pytest.raises(QueueFullError):
+        fifo.push(3)
+    assert fifo.full_rejections == 1
+
+
+def test_pop_from_empty_queue_raises():
+    fifo = BoundedFifo(2)
+    with pytest.raises(QueueEmptyError):
+        fifo.pop()
+    assert fifo.empty_rejections == 1
+
+
+def test_try_push_and_try_pop():
+    fifo = BoundedFifo(1)
+    assert fifo.try_push("a") is True
+    assert fifo.try_push("b") is False
+    assert fifo.try_pop() == "a"
+    assert fifo.try_pop() is None
+
+
+def test_peek_does_not_remove():
+    fifo = BoundedFifo(4)
+    fifo.push(10)
+    assert fifo.peek() == 10
+    assert len(fifo) == 1
+
+
+def test_clear_empties_queue():
+    fifo = BoundedFifo(4)
+    for value in range(4):
+        fifo.push(value)
+    fifo.clear()
+    assert fifo.is_empty()
+    assert fifo.free_slots == 4
+
+
+def test_high_water_mark_tracks_maximum_occupancy():
+    fifo = BoundedFifo(8)
+    for value in range(6):
+        fifo.push(value)
+    for _ in range(3):
+        fifo.pop()
+    assert fifo.high_water_mark == 6
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        BoundedFifo(0)
+
+
+@given(st.lists(st.integers(), max_size=200))
+def test_unbounded_use_matches_reference_order(values):
+    fifo = BoundedFifo(1000)
+    for value in values:
+        fifo.push(value)
+    assert list(fifo) == values
+    assert [fifo.pop() for _ in values] == values
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers()), max_size=200),
+       st.integers(min_value=1, max_value=16))
+def test_occupancy_never_exceeds_capacity(operations, capacity):
+    fifo = BoundedFifo(capacity)
+    for is_push, value in operations:
+        if is_push:
+            fifo.try_push(value)
+        else:
+            fifo.try_pop()
+        assert 0 <= len(fifo) <= capacity

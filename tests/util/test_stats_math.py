@@ -1,0 +1,85 @@
+"""Tests for the aggregate statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats_math import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    normalize,
+    speedup,
+    value_range,
+)
+
+
+def test_geometric_mean_known_value():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -2.0])
+
+
+def test_harmonic_mean_known_value():
+    assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+    assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+
+
+def test_normalize_to_baseline():
+    values = {"bl": 2.0, "dla": 1.0, "r3": 0.5}
+    normalized = normalize(values, "bl")
+    assert normalized == {"bl": 1.0, "dla": 0.5, "r3": 0.25}
+
+
+def test_normalize_errors():
+    with pytest.raises(KeyError):
+        normalize({"a": 1.0}, "missing")
+    with pytest.raises(ZeroDivisionError):
+        normalize({"a": 0.0, "b": 1.0}, "a")
+
+
+def test_value_range():
+    assert value_range([3.0, 1.0, 2.0]) == (1.0, 3.0)
+    with pytest.raises(ValueError):
+        value_range([])
+
+
+def test_speedup():
+    assert speedup(200.0, 100.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        speedup(0.0, 10.0)
+    with pytest.raises(ValueError):
+        speedup(10.0, 0.0)
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=50))
+def test_mean_ordering_property(values):
+    """Harmonic mean <= geometric mean <= arithmetic mean."""
+    hm = harmonic_mean(values)
+    gm = geometric_mean(values)
+    am = arithmetic_mean(values)
+    assert hm <= gm + 1e-9
+    assert gm <= am + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1000.0), min_size=1, max_size=30),
+       st.floats(min_value=0.1, max_value=10.0))
+def test_geometric_mean_scaling_property(values, factor):
+    """gm(k * x) == k * gm(x)."""
+    scaled = [v * factor for v in values]
+    assert geometric_mean(scaled) == pytest.approx(factor * geometric_mean(values), rel=1e-6)
