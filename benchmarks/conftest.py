@@ -1,31 +1,95 @@
 """Shared state for the benchmark harness.
 
-A single :class:`~repro.experiments.runner.ExperimentRunner` is shared by
-every benchmark so that traces, profiles and already-simulated configurations
-are reused across figures (exactly like a real evaluation campaign would).
+A single :class:`~repro.experiments.parallel.ParallelExperimentRunner` is
+shared by every benchmark so that traces, profiles and already-simulated
+configurations are reused across figures (exactly like a real evaluation
+campaign would).  Results are keyed by content fingerprint — labels are
+cosmetic — and persist in the on-disk cache (``.repro_cache/``, disable with
+``REPRO_DISK_CACHE=0``) so repeated campaigns skip finished simulations.
 
 Set the environment variable ``REPRO_FULL_EVAL=1`` to run every workload of
-every suite with longer windows (slower, closer to the paper's setup);
-the default "quick" mode uses a representative subset so the whole harness
-completes in a few minutes.
+every suite with longer windows (slower, closer to the paper's setup); the
+standard configuration matrix is then pre-computed by the parallel runner,
+fanning (workload, config) simulations out over worker processes.  The
+default "quick" mode uses a representative subset so the whole harness
+completes in well under a minute.
+
+When the *complete* benchmark suite runs and passes, the session records
+suite wall-time and simulated instructions/second in
+``BENCH_sim_throughput.json`` so the performance trajectory is tracked
+PR-over-PR.  Partial runs (``-k`` filters, single files) and failing
+sessions do not overwrite the trajectory numbers.
 """
 
-import os
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.experiments.bench import update_bench_report
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import ExperimentRunner
+
+_BENCH_DIR = Path(__file__).resolve().parent
+_IMPORT_T0 = time.perf_counter()
+_RUNNER = None
+_FULL_SUITE_COLLECTED = False
 
 
 def _full_mode_requested() -> bool:
+    import os
+
     return os.environ.get("REPRO_FULL_EVAL", "0") not in ("0", "", "false", "no")
+
+
+def _shared_runner(warm: bool) -> ParallelExperimentRunner:
+    global _RUNNER
+    if _RUNNER is None:
+        full = _full_mode_requested()
+        _RUNNER = ParallelExperimentRunner(quick=not full)
+        # Pre-compute the standard configuration matrix in parallel when it
+        # pays off: the whole campaign is about to run anyway (never for a
+        # filtered selection) and either it is the full-eval matrix or more
+        # than one worker process is available.
+        if warm and (full or _RUNNER.default_processes() > 1):
+            _RUNNER.warm()
+    return _RUNNER
+
+
+def pytest_collection_finish(session):
+    """Detect whether every benchmark module was selected for this run."""
+    global _FULL_SUITE_COLLECTED
+    selected = {
+        Path(item.fspath).name
+        for item in session.items
+        if Path(item.fspath).parent == _BENCH_DIR
+    }
+    available = {p.name for p in _BENCH_DIR.glob("test_*.py")}
+    _FULL_SUITE_COLLECTED = bool(available) and available <= selected
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(quick=not _full_mode_requested())
+    return _shared_runner(warm=_FULL_SUITE_COLLECTED)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Only a passing run of the complete benchmark suite may update the
+    # PR-over-PR trajectory file; partial or failing sessions would record
+    # misleading wall-times and simulation counts.
+    if _RUNNER is None or exitstatus != 0 or not _FULL_SUITE_COLLECTED:
+        return
+    wall = time.perf_counter() - _IMPORT_T0
+    mode = "quick" if _RUNNER.quick else "full"
+    payload = dict(_RUNNER.stats.as_dict())
+    payload["suite_wall_seconds"] = round(wall, 2)
+    payload["workloads"] = len(_RUNNER.workload_names)
+    update_bench_report(
+        f"suite_{mode}", payload,
+        path=_BENCH_DIR.parent / "BENCH_sim_throughput.json",
+    )

@@ -1,0 +1,52 @@
+"""Performance smoke: one workload end-to-end, throughput recorded.
+
+Runs the full BL / DLA / R3-DLA configuration stack for a single workload
+with fresh caches, then appends simulated-instructions-per-second and
+wall-time numbers to ``BENCH_sim_throughput.json``.  Intended as a cheap
+CI/tooling hook: run it after a change to the timing models to see the perf
+trajectory without paying for the whole benchmark suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dla.config import DlaConfig                      # noqa: E402
+from repro.experiments.bench import update_bench_report     # noqa: E402
+from repro.experiments.runner import ExperimentRunner       # noqa: E402
+
+
+def main(workload: str = "mcf") -> dict:
+    started = time.perf_counter()
+    # Fresh in-memory caches and no disk cache: measure real simulation speed.
+    runner = ExperimentRunner(quick=True, workload_names=[workload],
+                              disk_cache=False)
+    setup = runner.setup(workload)
+    runner.baseline(setup, "bl")
+    runner.baseline(setup, "bl-nopf", runner.no_prefetch_config())
+    runner.dla(setup, DlaConfig().baseline_dla(), "dla")
+    runner.dla(setup, DlaConfig().r3(), "r3")
+    wall = time.perf_counter() - started
+
+    payload = dict(runner.stats.as_dict())
+    payload["workload"] = workload
+    payload["wall_seconds"] = round(wall, 3)
+    path = update_bench_report("perf_smoke", payload,
+                               path=REPO_ROOT / "BENCH_sim_throughput.json")
+    print(f"perf_smoke[{workload}]: {payload['simulations']} simulations, "
+          f"{payload['simulated_instructions']} instructions in {wall:.2f}s "
+          f"({payload['instructions_per_second']:.0f} inst/s) -> {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mcf")

@@ -15,6 +15,17 @@ class DirectionPredictor:
     def update(self, pc: int, taken: bool) -> None:
         raise NotImplementedError
 
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Predict then train in one call; returns the prediction.
+
+        Equivalent to ``predict(pc)`` followed by ``update(pc, taken)``.
+        Predictors whose update re-derives the prediction (TAGE) override
+        this to share the table walk between the two halves.
+        """
+        predicted = self.predict(pc)
+        self.update(pc, taken)
+        return predicted
+
     def reset(self) -> None:
         """Clear all state."""
         raise NotImplementedError
@@ -105,11 +116,21 @@ class TournamentPredictor(DirectionPredictor):
         self._chooser = [2] * self.entries
 
 
-@dataclass
+@dataclass(slots=True)
 class _TageEntry:
     tag: int
     counter: int      # signed: >= 0 predicts taken
     useful: int
+
+
+def _fold(value: int, bits: int) -> int:
+    """XOR-fold ``value`` down to ``bits`` bits."""
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
 
 
 class TageLitePredictor(DirectionPredictor):
@@ -134,47 +155,65 @@ class TageLitePredictor(DirectionPredictor):
             ratio = (max_history / min_history) ** (i / max(1, num_tables - 1))
             self.history_lengths.append(int(round(min_history * ratio)))
         self._tables: List[Dict[int, _TageEntry]] = [dict() for _ in range(num_tables)]
+        #: Per-table history masks, precomputed (hot path).
+        self._history_masks = [(1 << length) - 1 for length in self.history_lengths]
         self._history = 0
         self._last_provider: Optional[int] = None
         self._last_index: Optional[int] = None
 
     # -- hashing -----------------------------------------------------------
     def _fold(self, value: int, bits: int) -> int:
-        folded = 0
-        while value:
-            folded ^= value & ((1 << bits) - 1)
-            value >>= bits
-        return folded
+        return _fold(value, bits)
 
     def _index(self, pc: int, table: int) -> int:
-        hist = self._history & ((1 << self.history_lengths[table]) - 1)
-        return (pc ^ self._fold(hist, 10) ^ (table * 0x9E37)) % self.table_entries
+        hist = self._history & self._history_masks[table]
+        return (pc ^ _fold(hist, 10) ^ (table * 0x9E37)) % self.table_entries
 
     def _tag(self, pc: int, table: int) -> int:
-        hist = self._history & ((1 << self.history_lengths[table]) - 1)
-        return (pc ^ (pc >> 5) ^ self._fold(hist, 7) ^ (table * 0x1F3)) & self.tag_mask
+        hist = self._history & self._history_masks[table]
+        return (pc ^ (pc >> 5) ^ _fold(hist, 7) ^ (table * 0x1F3)) & self.tag_mask
 
     # -- prediction ---------------------------------------------------------
+    def _lookup(self, pc: int):
+        """(provider table, index, entry) of the longest history match.
+
+        The index/tag expressions below are inlined copies of
+        :meth:`_index`/:meth:`_tag` (the allocation path still uses those
+        helpers).  They must stay in sync — pinned by
+        ``tests/branch/test_branch_prediction.py::test_tage_lookup_matches_hash_helpers``.
+        """
+        history = self._history
+        masks = self._history_masks
+        tables = self._tables
+        entries = self.table_entries
+        tag_mask = self.tag_mask
+        pc_hash = pc ^ (pc >> 5)
+        for table in range(self.num_tables - 1, -1, -1):
+            hist = history & masks[table]
+            index = (pc ^ _fold(hist, 10) ^ (table * 0x9E37)) % entries
+            entry = tables[table].get(index)
+            if entry is not None:
+                tag = (pc_hash ^ _fold(hist, 7) ^ (table * 0x1F3)) & tag_mask
+                if entry.tag == tag:
+                    return table, index, entry
+        return None, -1, None
+
     def _find_provider(self, pc: int) -> Optional[int]:
-        for table in reversed(range(self.num_tables)):
-            entry = self._tables[table].get(self._index(pc, table))
-            if entry is not None and entry.tag == self._tag(pc, table):
-                return table
-        return None
+        return self._lookup(pc)[0]
 
     def predict(self, pc: int) -> bool:
-        provider = self._find_provider(pc)
+        provider, _index, entry = self._lookup(pc)
         if provider is None:
             return self.base.predict(pc)
-        entry = self._tables[provider][self._index(pc, provider)]
         return entry.counter >= 0
 
     def update(self, pc: int, taken: bool) -> None:
-        provider = self._find_provider(pc)
-        predicted = self.predict(pc)
+        self.predict_update(pc, taken)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        provider, _index, entry = self._lookup(pc)
+        predicted = entry.counter >= 0 if provider is not None else self.base.predict(pc)
         if provider is not None:
-            index = self._index(pc, provider)
-            entry = self._tables[provider][index]
             entry.counter = max(-4, min(3, entry.counter + (1 if taken else -1)))
             if predicted == taken:
                 entry.useful = min(entry.useful + 1, 3)
@@ -197,6 +236,7 @@ class TageLitePredictor(DirectionPredictor):
                     break
 
         self._history = ((self._history << 1) | int(taken)) & ((1 << 64) - 1)
+        return predicted
 
     def reset(self) -> None:
         self.base.reset()

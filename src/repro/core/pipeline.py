@@ -16,6 +16,7 @@ prefetches — without the baseline model knowing anything about DLA.
 from __future__ import annotations
 
 import bisect
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -25,7 +26,7 @@ from repro.branch.ras import ReturnAddressStack
 from repro.core.config import CoreConfig
 from repro.core.results import CoreResult, InstructionTiming
 from repro.emulator.trace import DynamicInst
-from repro.isa.instructions import INSTRUCTION_BYTES, OpClass, Opcode
+from repro.isa.instructions import FU_POOL_FP, Opcode
 from repro.memory.hierarchy import AccessType, CoreMemorySystem
 from repro.prefetch.base import Prefetcher
 
@@ -72,7 +73,29 @@ class CoreHooks:
 
 
 class _FunctionalUnitPool:
-    """Earliest-available scheduling over a small pool of identical units."""
+    """Earliest-available scheduling over a small pool of identical units.
+
+    Backed by a min-heap of ``(free_at, unit_index)`` pairs so a reservation
+    is O(log n) instead of the O(n) min-scan of the original implementation.
+    Ties on ``free_at`` resolve to the lowest unit index, matching the
+    linear scan's first-minimum choice, so the two implementations produce
+    identical reservation sequences (see ``_LinearFunctionalUnitPool``).
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, count: int) -> None:
+        self._heap = [(0.0, i) for i in range(max(1, count))]
+
+    def reserve(self, earliest: float, busy_for: float) -> float:
+        free_at, index = self._heap[0]
+        start = free_at if free_at > earliest else earliest
+        heapq.heapreplace(self._heap, (start + busy_for, index))
+        return start
+
+
+class _LinearFunctionalUnitPool:
+    """Reference O(n) implementation kept for equivalence testing."""
 
     def __init__(self, count: int) -> None:
         self._free_at = [0.0] * max(1, count)
@@ -82,10 +105,6 @@ class _FunctionalUnitPool:
         start = max(earliest, self._free_at[index])
         self._free_at[index] = start + busy_for
         return start
-
-
-_FP_CLASSES = (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV)
-_MEM_CLASSES = (OpClass.LOAD, OpClass.STORE)
 
 
 class OutOfOrderCore:
@@ -155,87 +174,116 @@ class OutOfOrderCore:
 
         fetch_bound = 0
 
+        # Hot-loop locals: every per-instruction attribute chase hoisted out.
+        hook_branch_hint = hooks.branch_hint
+        hook_value_hint = hooks.value_hint
+        hook_on_commit = hooks.on_commit
+        hook_on_fetch = hooks.on_fetch
+        hook_on_memory = hooks.on_memory_access
+        memory_access = self.memory.access
+        block_bytes = self._block_bytes
+        fetch_buffer_entries = cfg.fetch_buffer_entries
+        frontend_latency = cfg.frontend_latency
+        rob_entries = cfg.rob_entries
+        lsq_entries = cfg.lsq_entries
+        run_prefetchers = self._run_prefetchers
+        has_prefetchers = self.l1_prefetcher is not None or self.l2_prefetcher is not None
+        reg_ready_get = reg_ready.get
+        mem_reserve = mem_pool.reserve
+        int_reserve = int_pool.reserve
+        fp_reserve = fp_pool.reserve
+        ACC_INSTRUCTION = AccessType.INSTRUCTION
+        ACC_LOAD = AccessType.LOAD
+        ACC_STORE = AccessType.STORE
+
         for i, entry in enumerate(entries):
             static = entry.static
 
             # ---------------- fetch ----------------
-            fetch_time = max(fetch_cursor, fetch_redirect_at)
+            fetch_time = (
+                fetch_cursor if fetch_cursor > fetch_redirect_at else fetch_redirect_at
+            )
 
             # Fetch-buffer decoupling: fetch may run at most
             # ``fetch_buffer_entries`` instructions ahead of dispatch.
-            if i >= cfg.fetch_buffer_entries:
-                fetch_time = max(fetch_time, dispatch_times[i - cfg.fetch_buffer_entries])
+            if i >= fetch_buffer_entries:
+                fb_gate = dispatch_times[i - fetch_buffer_entries]
+                if fb_gate > fetch_time:
+                    fetch_time = fb_gate
 
             # I-cache: a new block has to be fetched from the memory system.
-            block = (static.pc * INSTRUCTION_BYTES) // self._block_bytes
+            byte_address = static.byte_address
+            block = byte_address // block_bytes
             if block != current_block:
-                access = self.memory.access(
-                    static.pc * INSTRUCTION_BYTES, int(fetch_time), AccessType.INSTRUCTION
-                )
+                access = memory_access(byte_address, int(fetch_time), ACC_INSTRUCTION)
                 result.l1i_accesses += 1
                 if access.l1_miss:
                     result.l1i_misses += 1
                 block_ready = access.ready_cycle
                 current_block = block
-            fetch_time = max(fetch_time, block_ready)
+            if block_ready > fetch_time:
+                fetch_time = block_ready
 
             # Branch-direction hints (BOQ) gate the fetch of the branch itself.
             hint: Optional[BranchHint] = None
             if static.is_branch:
-                if hooks.branch_hint is not None:
-                    hint = hooks.branch_hint(entry)
+                if hook_branch_hint is not None:
+                    hint = hook_branch_hint(entry)
                 if hint is not None and hint.available > fetch_time:
                     result.fetch_stall_on_hint += hint.available - fetch_time
                     fetch_time = hint.available
 
             fetch_times[i] = fetch_time
             fetch_cursor = fetch_time + fetch_inc
-            if hooks.on_fetch is not None:
-                hooks.on_fetch(entry, fetch_time)
+            if hook_on_fetch is not None:
+                hook_on_fetch(entry, fetch_time)
 
             # ---------------- dispatch ----------------
-            dispatch_time = max(
-                fetch_time + cfg.frontend_latency,
-                prev_dispatch + dispatch_inc,
-            )
-            if i >= cfg.rob_entries:
-                dispatch_time = max(dispatch_time, commit_times[i - cfg.rob_entries])
+            dispatch_time = fetch_time + frontend_latency
+            lane_gate = prev_dispatch + dispatch_inc
+            if lane_gate > dispatch_time:
+                dispatch_time = lane_gate
+            if i >= rob_entries:
+                rob_gate = commit_times[i - rob_entries]
+                if rob_gate > dispatch_time:
+                    dispatch_time = rob_gate
             if static.is_memory:
-                if len(mem_indices) >= cfg.lsq_entries:
-                    dispatch_time = max(
-                        dispatch_time, commit_times[mem_indices[-cfg.lsq_entries]]
-                    )
+                if len(mem_indices) >= lsq_entries:
+                    lsq_gate = commit_times[mem_indices[-lsq_entries]]
+                    if lsq_gate > dispatch_time:
+                        dispatch_time = lsq_gate
                 mem_indices.append(i)
             dispatch_times[i] = dispatch_time
-            if dispatch_time - fetch_time <= cfg.frontend_latency + 1e-9:
+            if dispatch_time - fetch_time <= frontend_latency + 1e-9:
                 fetch_bound += 1
             prev_dispatch = dispatch_time
             result.decoded += 1
 
             # ---------------- value reuse ----------------
             value_hint: Optional[ValueHint] = None
-            if hooks.value_hint is not None:
-                candidate = hooks.value_hint(entry)
+            if hook_value_hint is not None:
+                candidate = hook_value_hint(entry)
                 if candidate is not None and candidate.available <= dispatch_time:
                     value_hint = candidate
 
             # ---------------- issue / execute ----------------
             ready = dispatch_time + 1.0
             for src in static.srcs:
-                ready = max(ready, reg_ready.get(src, start_cycle))
+                src_ready = reg_ready_get(src, start_cycle)
+                if src_ready > ready:
+                    ready = src_ready
 
-            op_class = static.op_class
             executed = True
             if value_hint is not None and value_hint.skip_validation:
                 # All sources were themselves value-predicted: no execution.
                 complete = dispatch_time + 1.0
                 executed = False
                 result.validations_skipped += 1
-            elif op_class in _MEM_CLASSES:
-                issue = mem_pool.reserve(ready, 1.0)
+            elif static.is_memory:
+                issue = mem_reserve(ready, 1.0)
                 address = entry.effective_address
                 if static.is_load:
-                    access = self.memory.access(address, int(issue), AccessType.LOAD)
+                    access = memory_access(address, int(issue), ACC_LOAD)
                     result.l1d_accesses += 1
                     if access.l1_miss:
                         result.l1d_misses += 1
@@ -244,20 +292,23 @@ class OutOfOrderCore:
                     if access.dram_access:
                         result.dram_accesses += 1
                     complete = float(access.ready_cycle)
-                    self._run_prefetchers(static.pc, address, access, issue)
-                    self._remember_load(recent_load_addresses, address)
-                    if hooks.on_memory_access is not None:
-                        hooks.on_memory_access(entry, access, issue)
+                    if has_prefetchers:
+                        run_prefetchers(static.pc, address, access, issue)
+                    recent_load_addresses.append(address)
+                    if len(recent_load_addresses) > 16:
+                        del recent_load_addresses[0]
+                    if hook_on_memory is not None:
+                        hook_on_memory(entry, access, issue)
                 else:
                     # Stores leave the critical path at issue; the write and
                     # its traffic are charged at commit below.
                     complete = issue + 1.0
             else:
-                latency = float(static.execution_latency)
-                if op_class in _FP_CLASSES:
-                    issue = fp_pool.reserve(ready, latency)
+                latency = static.latency_cycles
+                if static.fu_pool == FU_POOL_FP:
+                    issue = fp_reserve(ready, latency)
                 else:
-                    issue = int_pool.reserve(ready, 1.0)
+                    issue = int_reserve(ready, 1.0)
                 complete = issue + latency
 
             if value_hint is not None and not value_hint.skip_validation:
@@ -284,7 +335,7 @@ class OutOfOrderCore:
             if executed:
                 result.executed += 1
             issue_time = complete if not executed else (
-                complete - (0.0 if static.is_load else float(static.execution_latency))
+                complete - (0.0 if static.is_load else static.latency_cycles)
             )
 
             # ---------------- control flow ----------------
@@ -299,14 +350,16 @@ class OutOfOrderCore:
                     )
 
             # ---------------- commit ----------------
-            commit_time = max(complete, prev_commit + commit_inc)
+            commit_time = prev_commit + commit_inc
+            if complete > commit_time:
+                commit_time = complete
             commit_times[i] = commit_time
             prev_commit = commit_time
             result.committed += 1
 
             if static.is_store:
-                access = self.memory.access(
-                    entry.effective_address, int(commit_time), AccessType.STORE
+                access = memory_access(
+                    entry.effective_address, int(commit_time), ACC_STORE
                 )
                 result.l1d_accesses += 1
                 if access.l1_miss:
@@ -315,12 +368,13 @@ class OutOfOrderCore:
                         result.l2_misses += 1
                 if access.dram_access:
                     result.dram_accesses += 1
-                self._run_prefetchers(static.pc, entry.effective_address, access, commit_time)
-                if hooks.on_memory_access is not None:
-                    hooks.on_memory_access(entry, access, commit_time)
+                if has_prefetchers:
+                    run_prefetchers(static.pc, entry.effective_address, access, commit_time)
+                if hook_on_memory is not None:
+                    hook_on_memory(entry, access, commit_time)
 
-            if hooks.on_commit is not None:
-                hooks.on_commit(entry, commit_time)
+            if hook_on_commit is not None:
+                hook_on_commit(entry, commit_time)
 
             if collect_timings:
                 timings.append(
@@ -371,8 +425,7 @@ class OutOfOrderCore:
                 if hooks.on_hint_mispredict is not None:
                     hooks.on_hint_mispredict(entry, complete)
                 return complete + cfg.branch_mispredict_penalty
-            predicted = self.predictor.predict(static.pc)
-            self.predictor.update(static.pc, taken)
+            predicted = self.predictor.predict_update(static.pc, taken)
             if predicted != taken:
                 result.branch_mispredicts += 1
                 return complete + cfg.branch_mispredict_penalty
@@ -415,12 +468,6 @@ class OutOfOrderCore:
             l2_hit = access.supplied_by == "l2"
             for request in self.l2_prefetcher.observe(pc, address, l2_hit, int(cycle)):
                 self.memory.prefetch(request.address, int(cycle), level=request.level)
-
-    @staticmethod
-    def _remember_load(recent: List[int], address: int) -> None:
-        recent.append(address)
-        if len(recent) > 16:
-            del recent[0]
 
     def _wrong_path_pollution(self, recent_loads: List[int], cycle: float,
                               result: CoreResult) -> None:

@@ -54,15 +54,20 @@ def warm_memory_system(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
     cycle = 0
     block = memory.config.l1i.block_bytes
     last_block = None
+    access = memory.access
+    acc_inst, acc_load, acc_store = (
+        AccessType.INSTRUCTION, AccessType.LOAD, AccessType.STORE
+    )
     for entry in entries:
-        address = entry.pc * 4
+        static = entry.static
+        address = static.byte_address
         if address // block != last_block:
             last_block = address // block
-            memory.access(address, cycle, AccessType.INSTRUCTION)
-        if entry.is_load:
-            memory.access(entry.effective_address, cycle, AccessType.LOAD)
-        elif entry.is_store:
-            memory.access(entry.effective_address, cycle, AccessType.STORE)
+            access(address, cycle, acc_inst)
+        if static.is_load:
+            access(entry.effective_address, cycle, acc_load)
+        elif static.is_store:
+            access(entry.effective_address, cycle, acc_store)
         cycle += cycles_per_access
 
 

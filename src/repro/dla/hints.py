@@ -109,6 +109,11 @@ class MainThreadHintSource:
         self._prefetch_cursor = 0
         self.prefetches_installed = 0
 
+        # Hot-path aliases (single attribute load in per-instruction hooks).
+        self._branch_times = products.branch_times
+        self._value_times = products.value_times
+        self._prefetch_hints = products.prefetch_hints
+
         # PCs for which the SIF stopped predicting after a misprediction.
         self._value_disabled_pcs: Set[int] = set()
 
@@ -116,17 +121,21 @@ class MainThreadHintSource:
     # hook entry points
     # ------------------------------------------------------------------
     def hooks(self) -> CoreHooks:
+        # Inert callbacks are omitted entirely: the core's inner loop skips
+        # a per-instruction call for every hook that is ``None``, and a hook
+        # that could only ever return ``None`` (no value targets, no T1
+        # engine) cannot influence the simulation.
         return CoreHooks(
             branch_hint=self.branch_hint,
-            value_hint=self.value_hint,
-            on_commit=self.on_commit,
+            value_hint=self.value_hint if self.value_target_pcs else None,
+            on_commit=self.on_commit if self.t1 is not None else None,
             on_fetch=self.on_fetch,
             on_hint_mispredict=self.on_hint_mispredict,
         )
 
     # -- branch hints ------------------------------------------------------
     def branch_hint(self, entry: DynamicInst) -> Optional[BranchHint]:
-        lt_time = self.products.branch_times.get(entry.seq)
+        lt_time = self._branch_times.get(entry.seq)
         if lt_time is None:
             return None
         available = lt_time + self.offset
@@ -145,7 +154,7 @@ class MainThreadHintSource:
         return BranchHint(available=available, correct=correct, has_target=True)
 
     def _hint_correct(self, entry: DynamicInst) -> bool:
-        pc = entry.pc
+        pc = entry.static.pc
         if pc in self.biased_branch_pcs:
             # The skeleton replaced this branch with its bias direction; the
             # hint is wrong exactly when the dynamic outcome goes against it.
@@ -163,14 +172,14 @@ class MainThreadHintSource:
     # -- value hints ----------------------------------------------------------
     def value_hint(self, entry: DynamicInst) -> Optional[ValueHint]:
         static = entry.static
-        lt_time = self.products.value_times.get(entry.seq)
+        lt_time = self._value_times.get(entry.seq)
         has_prediction = (
             lt_time is not None
             and static.pc in self.value_target_pcs
             and static.pc not in self._value_disabled_pcs
         )
-        skip = self.scoreboard.process(
-            static.op_class, static.dst, static.srcs, has_prediction
+        skip = self.scoreboard.process_code(
+            static.class_code, static.dst, static.srcs, has_prediction
         )
         if not has_prediction:
             return None
@@ -196,7 +205,7 @@ class MainThreadHintSource:
     def on_fetch(self, entry: DynamicInst, fetch_cycle: float) -> None:
         # Install prefetch / TLB hints whose (shifted) production time has
         # passed — the just-in-time release tied to BOQ consumption.
-        hints = self.products.prefetch_hints
+        hints = self._prefetch_hints
         while self._prefetch_cursor < len(hints):
             produce_cycle, address = hints[self._prefetch_cursor]
             available = produce_cycle + self.offset
@@ -214,7 +223,7 @@ class MainThreadHintSource:
             self.prefetches_installed += 1
             self._prefetch_cursor += 1
 
-        if entry.is_branch:
+        if entry.static.is_branch:
             self._record_branch_consumption(entry, fetch_cycle)
 
     def _record_branch_consumption(self, entry: DynamicInst, fetch_cycle: float) -> None:
@@ -228,7 +237,7 @@ class MainThreadHintSource:
         self.boq.produce(
             BoqEntry(
                 branch_seq=entry.seq,
-                pc=entry.pc,
+                pc=entry.static.pc,
                 taken=bool(entry.taken),
                 produce_cycle=self.products.branch_times.get(entry.seq, fetch_cycle),
             )

@@ -170,10 +170,11 @@ def profile_workload(
     last_address: Dict[int, int] = {}
     deltas: Dict[int, List[int]] = {}
     cycle = 0
+    instruction_counts = profile.instruction_counts
     for entry in trace:
-        pc = entry.pc
-        profile.instruction_counts[pc] = profile.instruction_counts.get(pc, 0) + 1
         static = entry.static
+        pc = static.pc
+        instruction_counts[pc] = instruction_counts.get(pc, 0) + 1
         if static.is_memory:
             stats = profile.memory.setdefault(pc, PcMemoryStats())
             stats.executions += 1
@@ -207,12 +208,14 @@ def profile_workload(
 
     # Register-dependence fan-out (consumers per producer PC).
     last_writer: Dict[int, int] = {}
+    dependents = profile.dependents
+    last_writer_get = last_writer.get
     for entry in trace:
         static = entry.static
         for src in static.srcs:
-            writer = last_writer.get(src)
+            writer = last_writer_get(src)
             if writer is not None:
-                profile.dependents[writer] = profile.dependents.get(writer, 0) + 1
+                dependents[writer] = dependents.get(writer, 0) + 1
         if static.writes_register:
             last_writer[static.dst] = static.pc
 
@@ -232,8 +235,9 @@ def _profile_timing(program: Program, trace: Trace, config: SystemConfig,
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     for entry, timing in zip(entries, result.timings):
-        sums[entry.pc] = sums.get(entry.pc, 0.0) + timing.dispatch_to_execute
-        counts[entry.pc] = counts.get(entry.pc, 0) + 1
+        pc = entry.static.pc
+        sums[pc] = sums.get(pc, 0.0) + timing.dispatch_to_execute
+        counts[pc] = counts.get(pc, 0) + 1
     profile.dispatch_to_execute = {
         pc: sums[pc] / counts[pc] for pc in sums
     }

@@ -95,7 +95,8 @@ class Skeleton:
         """Fraction of dynamic instructions the look-ahead thread executes."""
         if len(trace) == 0:
             return 0.0
-        included = sum(1 for entry in trace if entry.pc in self.included_pcs)
+        included_pcs = self.included_pcs
+        included = sum(1 for entry in trace if entry.static.pc in included_pcs)
         return included / len(trace)
 
     def describe(self) -> str:

@@ -249,17 +249,18 @@ class DlaSystem:
         value_targets = self._value_target_pcs(skeleton)
 
         def on_commit(entry: DynamicInst, commit_cycle: float) -> None:
-            if entry.is_branch:
+            if entry.static.is_branch:
                 products.branch_times[entry.seq] = commit_cycle
                 products.branch_order.append(entry.seq)
-            if entry.seq is not None and entry.pc in value_targets:
+            if entry.seq is not None and entry.static.pc in value_targets:
                 products.value_times[entry.seq] = commit_cycle
 
         def on_memory_access(entry: DynamicInst, access, cycle: float) -> None:
-            if entry.is_load and access.l1_miss:
+            if entry.static.is_load and access.l1_miss:
                 products.prefetch_hints.append((cycle, entry.effective_address))
 
-        lt_entries = [e for e in entries if skeleton.contains(e.pc)]
+        included = skeleton.included_pcs
+        lt_entries = [e for e in entries if e.static.pc in included]
         state.lt_dynamic_instructions += len(lt_entries)
         hooks = CoreHooks(on_commit=on_commit, on_memory_access=on_memory_access)
         result = state.lt_core.run(lt_entries, hooks=hooks, start_cycle=state.lt_clock)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.isa.instructions import OpClass
+from repro.isa.instructions import OP_CLASS_CODE, OpClass
 from repro.util.bloom import BloomFilter
 
 
@@ -109,6 +109,8 @@ class ValidationScoreboard:
         OpClass.FP_ALU,
         OpClass.FP_MUL,
     }
+    #: Same set expressed as plain int class codes (decoded fast path).
+    _SKIPPABLE_CODES = frozenset(OP_CLASS_CODE[cls] for cls in _SKIPPABLE_CLASSES)
 
     def __init__(self) -> None:
         self._validated: Set[int] = set()
@@ -119,9 +121,16 @@ class ValidationScoreboard:
                 srcs: Sequence[int], has_prediction: bool) -> bool:
         """Update the scoreboard for one instruction; returns True when the
         instruction's validation can be skipped."""
+        return self.process_code(OP_CLASS_CODE[op_class], dst, srcs, has_prediction)
+
+    def process_code(self, class_code: int, dst: Optional[int],
+                     srcs: Sequence[int], has_prediction: bool) -> bool:
+        """:meth:`process` keyed by the decoded int class code (hot path)."""
         skip = False
-        if has_prediction and op_class in self._SKIPPABLE_CLASSES and srcs:
-            if all(src in self._validated for src in srcs):
+        skippable = class_code in self._SKIPPABLE_CODES
+        if has_prediction and skippable and srcs:
+            validated = self._validated
+            if all(src in validated for src in srcs):
                 skip = True
                 self.skips += 1
             else:
@@ -130,7 +139,7 @@ class ValidationScoreboard:
             self.validations += 1
 
         if dst is not None:
-            if has_prediction and op_class in self._SKIPPABLE_CLASSES:
+            if has_prediction and skippable:
                 self._validated.add(dst)
             else:
                 self._validated.discard(dst)

@@ -88,26 +88,28 @@ class Trace:
         """Dynamic instruction count per functional class."""
         mix: Dict[OpClass, int] = {}
         for entry in self.entries:
-            mix[entry.op_class] = mix.get(entry.op_class, 0) + 1
+            cls = entry.static.op_class
+            mix[cls] = mix.get(cls, 0) + 1
         return mix
 
     def branch_count(self) -> int:
-        return sum(1 for e in self.entries if e.is_branch)
+        return sum(1 for e in self.entries if e.static.is_branch)
 
     def load_count(self) -> int:
-        return sum(1 for e in self.entries if e.is_load)
+        return sum(1 for e in self.entries if e.static.is_load)
 
     def store_count(self) -> int:
-        return sum(1 for e in self.entries if e.is_store)
+        return sum(1 for e in self.entries if e.static.is_store)
 
     def memory_count(self) -> int:
-        return sum(1 for e in self.entries if e.is_memory)
+        return sum(1 for e in self.entries if e.static.is_memory)
 
     def pc_execution_counts(self) -> Dict[int, int]:
         """Dynamic execution count per static PC (used by profilers)."""
         counts: Dict[int, int] = {}
         for entry in self.entries:
-            counts[entry.pc] = counts.get(entry.pc, 0) + 1
+            pc = entry.static.pc
+            counts[pc] = counts.get(pc, 0) + 1
         return counts
 
     def window(self, start: int, length: int) -> "Trace":

@@ -26,6 +26,18 @@ Module                    Paper artefact
 ========================  =====================================
 """
 
-from repro.experiments.runner import ExperimentRunner, WorkloadSetup
+from repro.experiments.cache import ResultDiskCache
+from repro.experiments.fingerprint import code_salt, fingerprint
+from repro.experiments.parallel import ParallelExperimentRunner, SimRequest
+from repro.experiments.runner import ExperimentRunner, RunnerStats, WorkloadSetup
 
-__all__ = ["ExperimentRunner", "WorkloadSetup"]
+__all__ = [
+    "ExperimentRunner",
+    "ParallelExperimentRunner",
+    "ResultDiskCache",
+    "RunnerStats",
+    "SimRequest",
+    "WorkloadSetup",
+    "code_salt",
+    "fingerprint",
+]

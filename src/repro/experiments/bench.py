@@ -1,0 +1,39 @@
+"""Throughput reporting for the benchmark harness.
+
+``BENCH_sim_throughput.json`` at the repository root records, per run mode,
+how fast the simulator chews through dynamic instructions and how long the
+suite took — one number series to watch PR-over-PR for performance
+regressions.  The file is read-modify-written so the quick suite, the
+``REPRO_FULL_EVAL=1`` suite and the perf smoke script each own one key.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+BENCH_REPORT_NAME = "BENCH_sim_throughput.json"
+
+
+def repo_root() -> Path:
+    """The repository root (two levels above this package's parent)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def update_bench_report(section: str, payload: Dict[str, object],
+                        path: Optional[Path] = None) -> Path:
+    """Merge ``payload`` under ``section`` into the throughput report."""
+    path = path or repo_root() / BENCH_REPORT_NAME
+    try:
+        report = json.loads(path.read_text())
+        if not isinstance(report, dict):
+            report = {}
+    except (OSError, ValueError):
+        report = {}
+    payload = dict(payload)
+    payload["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    report[section] = payload
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,95 @@
+"""On-disk result cache for experiment campaigns.
+
+Large evaluation campaigns re-run the same (workload, configuration) pairs
+across many figures, pytest sessions and sweep scripts.  The disk cache
+persists finished :class:`~repro.core.system.SimulationOutcome` /
+:class:`~repro.dla.system.DlaOutcome` objects under ``.repro_cache/`` keyed
+by content fingerprint plus a source-code salt (see
+:mod:`repro.experiments.fingerprint`), so repeated campaigns skip straight
+to result assembly while code changes transparently invalidate everything.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent experiment
+processes can share one cache directory safely.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Set to ``0`` to disable the disk cache entirely.
+CACHE_ENABLE_ENV = "REPRO_DISK_CACHE"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def disk_cache_enabled() -> bool:
+    """Whether the on-disk cache is enabled for this process (default: yes)."""
+    return os.environ.get(CACHE_ENABLE_ENV, "1") not in ("0", "false", "no")
+
+
+class ResultDiskCache:
+    """A tiny content-addressed pickle store with atomic writes."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = Path(
+            directory or os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached object for ``key`` or ``None``.
+
+        Any deserialisation problem (truncated file, schema drift, ...) is
+        treated as a miss: the cache is an accelerator, never a source of
+        errors.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                obj = pickle.load(fh)
+        except Exception:
+            # Unpickling a truncated/corrupted/stale file can raise nearly
+            # anything (OSError, UnpicklingError, ValueError, ImportError,
+            # ...); all of it means the same thing here: not cached.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return obj
+
+    def put(self, key: str, obj: Any) -> None:
+        """Store ``obj`` under ``key`` (atomic, last-writer-wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self._path(key)
+        tmp = final.with_name(f"{final.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, final)
+        except Exception:
+            # A read-only/full filesystem or an unpicklable outcome silently
+            # degrades to no caching — same contract as get(): the cache is
+            # an accelerator, never a source of errors.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

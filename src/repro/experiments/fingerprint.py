@@ -1,0 +1,87 @@
+"""Content fingerprints for simulation requests.
+
+Experiment results used to be cached under ad-hoc string labels, which had
+two failure modes: two *different* configurations passed under one label
+silently returned the first result, and one configuration passed under two
+labels (e.g. ``"bl"`` in Fig. 9 and ``"bl-fb8"`` in Fig. 14) re-simulated.
+A fingerprint is a stable digest of the *content* of the objects that
+determine a simulation's outcome — workload, :class:`SystemConfig`,
+:class:`DlaConfig`, trace window — so structurally identical requests share
+one cache slot no matter what they are called.
+
+Fingerprints are also the on-disk cache key.  To guarantee a stale cache can
+never resurface results computed by older simulator code, every key is
+salted with a digest of the ``repro`` package sources (:func:`code_salt`):
+any source change invalidates the whole disk cache automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable canonical form.
+
+    Dataclasses become ``{"__type__": name, field: value, ...}`` using only
+    their comparison fields (derived/cached fields marked ``compare=False``
+    are excluded); enums become their type and member name; sets are sorted.
+    Unknown objects fall back to ``repr``, which is stable for everything
+    this codebase configures simulations with.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            if not f.compare:
+                continue
+            out[f.name] = canonicalize(getattr(obj, f.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.name]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                (json.dumps(canonicalize(k), sort_keys=True), canonicalize(v))
+                for k, v in obj.items()
+            )
+        }
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonicalize(v), sort_keys=True) for v in obj)}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return {"__repr__": repr(obj)}
+
+
+def fingerprint(*objects: Any) -> str:
+    """A hex digest identifying the content of ``objects``."""
+    payload = json.dumps([canonicalize(o) for o in objects], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+_CODE_SALT: str = ""
+
+
+def code_salt() -> str:
+    """Digest of every ``repro`` source file, computed once per process.
+
+    Folding this into disk-cache keys means a cached result can only ever be
+    returned to the exact simulator code that produced it.
+    """
+    global _CODE_SALT
+    if not _CODE_SALT:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(path.read_bytes())
+        _CODE_SALT = digest.hexdigest()[:16]
+    return _CODE_SALT

@@ -1,0 +1,251 @@
+"""Parallel, fingerprint-keyed experiment execution.
+
+``ParallelExperimentRunner`` fans independent (workload, configuration)
+simulations out over ``multiprocessing`` worker processes and merges the
+results back into the ordinary in-memory/on-disk caches in deterministic
+(request) order.  Because every simulation is deterministic — programs are
+seeded with content-stable hashes, traces replay identically, and all hint
+errors come from :class:`~repro.util.rng.DeterministicRng` — a parallel
+campaign produces bit-identical outcomes to a serial one, just sooner.
+
+Workers are grouped by workload so each worker process builds a workload's
+program/trace/profile once and then runs every configuration requested for
+it; only small, stripped result objects cross the process boundary.
+
+This is what makes ``REPRO_FULL_EVAL=1`` practical: the full-suite matrix is
+embarrassingly parallel at the (workload, config) level and scales with
+cores.  On a single-core host (or with ``processes=1``) the runner degrades
+to inline execution with no multiprocessing overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.dla.config import DlaConfig
+from repro.experiments.runner import ExperimentRunner, strip_outcome
+
+#: Environment variable overriding the worker-process count.
+PROCESSES_ENV = "REPRO_PROCESSES"
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One independent simulation of the standard experiment matrix."""
+
+    workload: str
+    kind: str                                    # "baseline" | "dla"
+    label: str = ""
+    system_config: Optional[SystemConfig] = None  # None -> runner default
+    dla_config: Optional[DlaConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("baseline", "dla"):
+            raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.kind == "dla" and self.dla_config is None:
+            raise ValueError("dla requests need a dla_config")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+#: Per-worker runner, keyed by a content fingerprint of the constructor
+#: kwargs that define it (including the base system config).  A pool worker
+#: serves one campaign, so this only ever holds one entry; the dict avoids
+#: rebuilding setups when a worker receives several groups of one campaign
+#: while never aliasing runners across campaigns with different configs.
+_WORKER_RUNNERS: Dict[str, ExperimentRunner] = {}
+
+
+def _worker_runner(ctor_kwargs: dict) -> ExperimentRunner:
+    from repro.experiments.fingerprint import fingerprint
+
+    key = fingerprint(ctor_kwargs)
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = ExperimentRunner(**ctor_kwargs)
+        _WORKER_RUNNERS.clear()   # one campaign per worker: drop stale state
+        _WORKER_RUNNERS[key] = runner
+    return runner
+
+
+def _run_group(payload: Tuple[dict, str, List[SimRequest]]):
+    """Execute every request of one workload group in a worker process."""
+    ctor_kwargs, workload, requests = payload
+    runner = _worker_runner(ctor_kwargs)
+    # The runner (and its stats) persists across the groups this worker
+    # serves; report only this group's delta or the parent's merge would
+    # prefix-sum-overcount every earlier group.
+    stats_before = runner.stats.copy()
+    setup = runner.setup(workload)
+    results = []
+    for request in requests:
+        if request.kind == "baseline":
+            key = runner.baseline_key(setup, request.system_config)
+            outcome = strip_outcome(
+                runner.baseline(setup, request.label or "bl", request.system_config)
+            )
+        else:
+            key = runner.dla_key(setup, request.dla_config, request.system_config)
+            outcome = runner.dla(
+                setup, request.dla_config, request.label or "dla", request.system_config
+            )
+        results.append((request.kind, key, outcome))
+    return workload, results, runner.stats.since(stats_before)
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that can pre-compute request batches in
+    parallel worker processes.
+
+    All single-request entry points (:meth:`setup`, :meth:`baseline`,
+    :meth:`dla`) are inherited unchanged — figures keep calling them and hit
+    the caches :meth:`warm` filled.
+    """
+
+    def __init__(self, *args, processes: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if processes is None:
+            env = os.environ.get(PROCESSES_ENV, "")
+            processes = int(env) if env.isdigit() and int(env) > 0 else None
+        self.processes = processes
+
+    # ------------------------------------------------------------------
+    def _ctor_kwargs(self) -> dict:
+        return {
+            "quick": self.quick,
+            "workload_names": list(self.workload_names),
+            "warmup_instructions": self.warmup_instructions,
+            "timed_instructions": self.timed_instructions,
+            "system_config": self.system_config,
+            # Workers read/write the shared disk cache directly; with it
+            # disabled they return everything through the merge below.
+            "disk_cache": self.disk_cache is not None,
+        }
+
+    def default_processes(self) -> int:
+        cpus = os.cpu_count() or 1
+        # Leave one core for the merging parent on bigger machines.
+        return cpus if cpus <= 2 else cpus - 1
+
+    # ------------------------------------------------------------------
+    def standard_requests(self) -> List[SimRequest]:
+        """The core configuration matrix of the paper's headline figures.
+
+        Six configurations per workload: {BL, DLA, R3-DLA} x {BOP prefetcher,
+        no prefetcher}.  Everything else (fetch-buffer sweeps, single-
+        optimization ablations) is cheap by comparison and computed on
+        demand — where its fingerprint matches one of these, it is a cache
+        hit anyway.
+        """
+        nopf = self.no_prefetch_config()
+        dla = DlaConfig().baseline_dla()
+        r3 = DlaConfig().r3()
+        requests: List[SimRequest] = []
+        for name in self.workload_names:
+            requests.append(SimRequest(name, "baseline", "bl"))
+            requests.append(SimRequest(name, "baseline", "bl-nopf", system_config=nopf))
+            requests.append(SimRequest(name, "dla", "dla", dla_config=dla))
+            requests.append(SimRequest(name, "dla", "dla-nopf", system_config=nopf, dla_config=dla))
+            requests.append(SimRequest(name, "dla", "r3", dla_config=r3))
+            requests.append(SimRequest(name, "dla", "r3-nopf", system_config=nopf, dla_config=r3))
+        return requests
+
+    # ------------------------------------------------------------------
+    def warm(self, requests: Optional[Sequence[SimRequest]] = None,
+             processes: Optional[int] = None) -> int:
+        """Pre-compute ``requests`` (default: the standard matrix).
+
+        Returns the number of simulations that were actually executed (the
+        rest were already cached).  Results are merged into the caches in
+        request order, so subsequent figure code sees exactly the same
+        objects regardless of worker scheduling.
+        """
+        requests = list(requests if requests is not None else self.standard_requests())
+        pending = self._pending_groups(requests)
+        if not pending:
+            return 0
+        processes = processes or self.processes or self.default_processes()
+        processes = min(processes, len(pending))
+        simulations_before = self.stats.simulations
+
+        if processes <= 1:
+            # Inline execution: run directly on this runner — its setups and
+            # caches are exactly what the figures will use afterwards, so
+            # nothing is built twice.
+            for _workload, group in pending:
+                for request in group:
+                    setup = self.setup(request.workload)
+                    if request.kind == "baseline":
+                        self.baseline(setup, request.label or "bl", request.system_config)
+                    else:
+                        self.dla(setup, request.dla_config, request.label or "dla",
+                                 request.system_config)
+            return self.stats.simulations - simulations_before
+
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        payloads = [(self._ctor_kwargs(), workload, group) for workload, group in pending]
+        with ctx.Pool(processes=processes) as pool:
+            # ``map`` preserves payload order -> deterministic merge order.
+            for result in pool.map(_run_group, payloads):
+                self._merge_group(result)
+        return self.stats.simulations - simulations_before
+
+    # ------------------------------------------------------------------
+    def _request_key(self, request: SimRequest) -> str:
+        """Content key of a request — no trace/profile building required."""
+        from repro.workloads.suites import get_workload
+
+        return self.workload_key(
+            get_workload(request.workload), request.kind,
+            request.system_config, request.dla_config,
+        )
+
+    def _pending_groups(self, requests: Sequence[SimRequest]):
+        """Group not-yet-cached requests by workload, preserving order.
+
+        Keys are derived from workload *definitions*, so screening a fully
+        cached campaign costs no setup work at all.
+        """
+        groups: Dict[str, List[SimRequest]] = {}
+        for request in requests:
+            key = self._request_key(request)
+            if request.kind == "baseline":
+                if self.has_baseline(key):
+                    continue
+                if self.disk_cache is not None:
+                    stored = self.disk_cache.get(self._disk_key(key))
+                    if stored is not None:
+                        self.stats.disk_hits += 1
+                        self.inject_baseline(key, stored, persist=False)
+                        continue
+            else:
+                if self.has_dla(key):
+                    continue
+                if self.disk_cache is not None:
+                    stored = self.disk_cache.get(self._disk_key(key))
+                    if stored is not None:
+                        self.stats.disk_hits += 1
+                        self.inject_dla(key, stored, persist=False)
+                        continue
+            groups.setdefault(request.workload, []).append(request)
+        return list(groups.items())
+
+    def _merge_group(self, result) -> None:
+        _workload, outcomes, worker_stats = result
+        # Workers share this runner's disk-cache setting (see _ctor_kwargs):
+        # if the disk cache is on, every fresh outcome was already persisted
+        # by the worker that computed it — don't pickle it all again here.
+        for kind, key, outcome in outcomes:
+            if kind == "baseline":
+                self.inject_baseline(key, outcome, persist=False)
+            else:
+                self.inject_dla(key, outcome, persist=False)
+        self.stats.merge(worker_stats)

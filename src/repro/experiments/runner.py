@@ -1,9 +1,28 @@
-"""Shared experiment infrastructure."""
+"""Shared experiment infrastructure.
+
+The :class:`ExperimentRunner` prepares workload setups (program, trace
+windows, profile) and caches finished simulations.  Caching is keyed by a
+*content fingerprint* of everything that determines an outcome — workload,
+:class:`SystemConfig`, :class:`DlaConfig` and the trace window — never by
+the display label a figure passes in:
+
+* two different configurations accidentally passed under the same label can
+  no longer alias to one result (the old label-keyed collision hazard);
+* one configuration requested under different labels by different figures
+  (``"bl"`` vs ``"bl-fb8"``) simulates exactly once.
+
+Fingerprints also key an optional on-disk cache (``.repro_cache/``; see
+:mod:`repro.experiments.cache`) so whole campaigns — the benchmark suite,
+sweeps, ``REPRO_FULL_EVAL=1`` runs — reuse results across processes and
+sessions.  Disk entries are salted with a digest of the simulator sources,
+so stale results cannot survive a code change.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.system import SimulationOutcome, simulate_baseline
@@ -11,6 +30,8 @@ from repro.dla.config import DlaConfig
 from repro.dla.profiling import ProgramProfile, profile_workload
 from repro.dla.system import DlaOutcome, DlaSystem
 from repro.emulator.trace import DynamicInst
+from repro.experiments.cache import ResultDiskCache, disk_cache_enabled
+from repro.experiments.fingerprint import code_salt, fingerprint
 from repro.isa.program import Program
 from repro.workloads.suites import Workload, all_workloads, get_workload
 
@@ -43,6 +64,64 @@ class WorkloadSetup:
         return self.workload.suite
 
 
+@dataclass
+class RunnerStats:
+    """Bookkeeping for throughput reporting (``BENCH_sim_throughput.json``)."""
+
+    #: Simulations actually executed (cache misses).
+    simulations: int = 0
+    #: Committed dynamic instructions across executed simulations (for DLA
+    #: runs this counts both the main and the look-ahead thread).
+    simulated_instructions: int = 0
+    #: Wall-clock seconds spent inside executed simulations.
+    simulation_seconds: float = 0.0
+    #: Wall-clock seconds spent building setups (traces + profiles).
+    setup_seconds: float = 0.0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.simulation_seconds <= 0.0:
+            return 0.0
+        return self.simulated_instructions / self.simulation_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "simulations": self.simulations,
+            "simulated_instructions": self.simulated_instructions,
+            "simulation_seconds": round(self.simulation_seconds, 3),
+            "setup_seconds": round(self.setup_seconds, 3),
+            "instructions_per_second": round(self.instructions_per_second, 1),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+        }
+
+    def merge(self, other: "RunnerStats") -> None:
+        self.simulations += other.simulations
+        self.simulated_instructions += other.simulated_instructions
+        self.simulation_seconds += other.simulation_seconds
+        self.setup_seconds += other.setup_seconds
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+
+    def since(self, snapshot: "RunnerStats") -> "RunnerStats":
+        """The delta accumulated after ``snapshot`` was taken (via ``copy``)."""
+        return RunnerStats(
+            simulations=self.simulations - snapshot.simulations,
+            simulated_instructions=(
+                self.simulated_instructions - snapshot.simulated_instructions
+            ),
+            simulation_seconds=self.simulation_seconds - snapshot.simulation_seconds,
+            setup_seconds=self.setup_seconds - snapshot.setup_seconds,
+            memory_hits=self.memory_hits - snapshot.memory_hits,
+            disk_hits=self.disk_hits - snapshot.disk_hits,
+        )
+
+    def copy(self) -> "RunnerStats":
+        return replace(self)
+
+
 class ExperimentRunner:
     """Builds workload setups and caches expensive simulations.
 
@@ -52,12 +131,16 @@ class ExperimentRunner:
         When True (default) only :data:`QUICK_WORKLOADS` are used with short
         windows, keeping the full benchmark suite runnable in minutes; when
         False every workload of every suite runs with longer windows.
+    disk_cache:
+        ``True``/``False`` force the on-disk result cache on or off; the
+        default (``None``) enables it unless ``REPRO_DISK_CACHE=0``.
     """
 
     def __init__(self, quick: bool = True, workload_names: Optional[Sequence[str]] = None,
                  warmup_instructions: Optional[int] = None,
                  timed_instructions: Optional[int] = None,
-                 system_config: Optional[SystemConfig] = None) -> None:
+                 system_config: Optional[SystemConfig] = None,
+                 disk_cache: Optional[bool] = None) -> None:
         self.quick = quick
         if workload_names is None:
             workload_names = QUICK_WORKLOADS if quick else [w.name for w in all_workloads()]
@@ -65,15 +148,68 @@ class ExperimentRunner:
         self.warmup_instructions = warmup_instructions or (8_000 if quick else 15_000)
         self.timed_instructions = timed_instructions or (8_000 if quick else 15_000)
         self.system_config = system_config or SystemConfig()
+        self.stats = RunnerStats()
+        if disk_cache is None:
+            disk_cache = disk_cache_enabled()
+        self.disk_cache: Optional[ResultDiskCache] = (
+            ResultDiskCache() if disk_cache else None
+        )
         self._setups: Dict[str, WorkloadSetup] = {}
-        self._baseline_cache: Dict[Tuple[str, str], SimulationOutcome] = {}
-        self._dla_cache: Dict[Tuple[str, str], DlaOutcome] = {}
+        self._baseline_cache: Dict[str, SimulationOutcome] = {}
+        self._dla_cache: Dict[str, DlaOutcome] = {}
+        #: Cosmetic label -> fingerprint key of the last request made under
+        #: that label (debugging / reporting only; never used for lookup).
+        self.label_keys: Dict[str, str] = {}
 
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    # Keys are computed from the Workload *definition* (name, params,
+    # window) — not the prepared setup — so cache lookups never require
+    # building traces or profiles.  Fingerprinting is cheap enough (a few
+    # hundred calls per campaign) that no memoization is warranted; an
+    # identity-keyed memo here once aliased two different configs whose
+    # objects happened to reuse one id().
+    def workload_key(self, workload: Workload,
+                     kind: str,
+                     config: Optional[SystemConfig] = None,
+                     dla_config: Optional[DlaConfig] = None) -> str:
+        """Content key of one simulation request for ``workload``."""
+        parts = [
+            kind,
+            workload,
+            (self.warmup_instructions, self.timed_instructions),
+            fingerprint(config or self.system_config),
+        ]
+        if kind == "dla":
+            # The training profile is built from the runner's base system
+            # config, so that config is part of the key even when an
+            # override is supplied.
+            parts.append(fingerprint(self.system_config))
+            parts.append(dla_config)
+        return fingerprint(*parts)
+
+    def baseline_key(self, setup: WorkloadSetup,
+                     config: Optional[SystemConfig] = None) -> str:
+        """Content key of one baseline simulation request."""
+        return self.workload_key(setup.workload, "baseline", config)
+
+    def dla_key(self, setup: WorkloadSetup, dla_config: DlaConfig,
+                config: Optional[SystemConfig] = None) -> str:
+        """Content key of one DLA co-simulation request."""
+        return self.workload_key(setup.workload, "dla", config, dla_config)
+
+    def _disk_key(self, key: str) -> str:
+        return f"{code_salt()}-{key}"
+
+    # ------------------------------------------------------------------
+    # setups
     # ------------------------------------------------------------------
     def setup(self, name: str) -> WorkloadSetup:
         """Prepare (and cache) one workload's program, trace and profile."""
         if name in self._setups:
             return self._setups[name]
+        started = time.perf_counter()
         workload = get_workload(name)
         program = workload.build_program()
         total = self.warmup_instructions + self.timed_instructions
@@ -92,39 +228,108 @@ class ExperimentRunner:
             workload=workload, program=program, warmup=warmup, timed=timed, profile=profile
         )
         self._setups[name] = setup
+        self.stats.setup_seconds += time.perf_counter() - started
         return setup
 
     def setups(self) -> List[WorkloadSetup]:
         return [self.setup(name) for name in self.workload_names]
 
     # ------------------------------------------------------------------
+    # cached simulation entry points
+    # ------------------------------------------------------------------
     def baseline(self, setup: WorkloadSetup, label: str = "bl",
                  config: Optional[SystemConfig] = None) -> SimulationOutcome:
-        """Baseline (single-core) simulation of the timed window, cached."""
-        key = (setup.name, label)
-        if key not in self._baseline_cache:
-            self._baseline_cache[key] = simulate_baseline(
-                setup.timed,
-                config or self.system_config,
-                warmup_entries=setup.warmup,
-            )
-        return self._baseline_cache[key]
+        """Baseline (single-core) simulation of the timed window, cached.
+
+        ``label`` is purely cosmetic; results are cached by the content
+        fingerprint of (workload, config, window).
+        """
+        key = self.baseline_key(setup, config)
+        self.label_keys[label] = key
+        cached = self._baseline_cache.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(self._disk_key(key))
+            if stored is not None:
+                self.stats.disk_hits += 1
+                self._baseline_cache[key] = stored
+                return stored
+        started = time.perf_counter()
+        outcome = simulate_baseline(
+            setup.timed,
+            config or self.system_config,
+            warmup_entries=setup.warmup,
+        )
+        self._record_simulation(started, outcome.core.committed)
+        self._baseline_cache[key] = outcome
+        if self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), strip_outcome(outcome))
+        return outcome
 
     def dla(self, setup: WorkloadSetup, dla_config: DlaConfig, label: str,
             config: Optional[SystemConfig] = None) -> DlaOutcome:
-        """DLA co-simulation of the timed window, cached by label."""
-        key = (setup.name, label)
-        if key not in self._dla_cache:
-            system = DlaSystem(
-                setup.program,
-                config or self.system_config,
-                dla_config,
-                profile=setup.profile,
-            )
-            self._dla_cache[key] = system.simulate(
-                setup.timed, warmup_entries=setup.warmup
-            )
-        return self._dla_cache[key]
+        """DLA co-simulation of the timed window, cached by content key."""
+        key = self.dla_key(setup, dla_config, config)
+        self.label_keys[label] = key
+        cached = self._dla_cache.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(self._disk_key(key))
+            if stored is not None:
+                self.stats.disk_hits += 1
+                self._dla_cache[key] = stored
+                return stored
+        started = time.perf_counter()
+        system = DlaSystem(
+            setup.program,
+            config or self.system_config,
+            dla_config,
+            profile=setup.profile,
+        )
+        outcome = system.simulate(setup.timed, warmup_entries=setup.warmup)
+        self._record_simulation(
+            started, outcome.main.committed + outcome.lookahead.committed
+        )
+        self._dla_cache[key] = outcome
+        if self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), outcome)
+        return outcome
+
+    def _record_simulation(self, started: float, committed: int) -> None:
+        self.stats.simulations += 1
+        self.stats.simulated_instructions += int(committed)
+        self.stats.simulation_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # cache injection (used by the parallel runner's deterministic merge)
+    # ------------------------------------------------------------------
+    def inject_baseline(self, key: str, outcome: SimulationOutcome,
+                        persist: bool = True) -> None:
+        """Install an externally-computed outcome into the caches.
+
+        Pass ``persist=False`` when the outcome is already on disk (it was
+        read from the disk cache, or a worker sharing the cache directory
+        wrote it) to avoid re-pickling identical entries.
+        """
+        self._baseline_cache.setdefault(key, outcome)
+        if persist and self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), strip_outcome(outcome))
+
+    def inject_dla(self, key: str, outcome: DlaOutcome,
+                   persist: bool = True) -> None:
+        self._dla_cache.setdefault(key, outcome)
+        if persist and self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), outcome)
+
+    def has_baseline(self, key: str) -> bool:
+        return key in self._baseline_cache
+
+    def has_dla(self, key: str) -> bool:
+        return key in self._dla_cache
 
     # ------------------------------------------------------------------
     def no_prefetch_config(self) -> SystemConfig:
@@ -144,3 +349,13 @@ class ExperimentRunner:
             l2_prefetcher=self.system_config.l2_prefetcher,
             l1_prefetcher="stride",
         )
+
+
+def strip_outcome(outcome: SimulationOutcome) -> SimulationOutcome:
+    """A copy of ``outcome`` without live memory-system objects.
+
+    The shared/private hierarchies hold the full cache state and are only
+    interesting to interactive debugging; dropping them keeps disk-cache
+    entries and inter-process payloads small.
+    """
+    return replace(outcome, shared=None, private=None)

@@ -14,9 +14,15 @@ not-taken outcomes.
 """
 
 from repro.isa.instructions import (
+    FU_POOL_FP,
+    FU_POOL_INT,
+    FU_POOL_MEM,
     Instruction,
     LatencyClass,
+    OP_CLASS_CODE,
+    OPCODE_META,
     Opcode,
+    OpcodeMeta,
     OpClass,
     is_branch,
     is_control,
@@ -42,6 +48,12 @@ __all__ = [
     "Instruction",
     "Opcode",
     "OpClass",
+    "OpcodeMeta",
+    "OPCODE_META",
+    "OP_CLASS_CODE",
+    "FU_POOL_INT",
+    "FU_POOL_MEM",
+    "FU_POOL_FP",
     "LatencyClass",
     "is_branch",
     "is_control",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.isa.registers import ZERO_REGISTER, register_name, validate_register
 
@@ -152,6 +152,75 @@ _CONDITIONAL_OPCODES = {Opcode.BEQZ, Opcode.BNEZ, Opcode.BLT, Opcode.BGE}
 _MEMORY_CLASSES = {OpClass.LOAD, OpClass.STORE}
 
 
+# -- decoded fast path ----------------------------------------------------
+#
+# The timing models walk traces instruction-by-instruction; resolving
+# ``op_class`` / ``is_load`` / ``execution_latency`` through enum-keyed dict
+# lookups on every dynamic instruction dominated simulation time.  Instead,
+# every classification fact an :class:`Instruction` can expose is decoded
+# exactly once per *opcode* into an interned :class:`OpcodeMeta` record, and
+# copied onto each instruction as plain attributes at construction time.
+
+#: Small integer code per :class:`OpClass`, in definition order.  Timing and
+#: energy models may index plain lists/arrays with these instead of hashing
+#: enum members.
+OP_CLASS_CODE: Dict[OpClass, int] = {cls: i for i, cls in enumerate(OpClass)}
+
+#: Inverse of :data:`OP_CLASS_CODE` (list position == class code).
+OP_CLASS_BY_CODE: Tuple[OpClass, ...] = tuple(OpClass)
+
+#: Functional-unit pool indices used by the out-of-order scheduler.
+FU_POOL_INT = 0
+FU_POOL_MEM = 1
+FU_POOL_FP = 2
+
+_FP_CLASSES = {OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV}
+
+
+class OpcodeMeta(NamedTuple):
+    """Interned decode record shared by every instruction with one opcode."""
+
+    op_class: OpClass
+    class_code: int
+    is_branch: bool
+    is_control: bool
+    is_memory: bool
+    is_load: bool
+    is_store: bool
+    execution_latency: int
+    #: ``float(execution_latency)``, precomputed for the timing model.
+    latency_cycles: float
+    #: Which functional-unit pool executes this opcode.
+    fu_pool: int
+
+
+def _decode_opcode(op: Opcode) -> OpcodeMeta:
+    op_class = _OPCODE_CLASS[op]
+    if op_class in _FP_CLASSES:
+        fu_pool = FU_POOL_FP
+    elif op_class in _MEMORY_CLASSES:
+        fu_pool = FU_POOL_MEM
+    else:
+        fu_pool = FU_POOL_INT
+    latency = LatencyClass.latency_of(op_class)
+    return OpcodeMeta(
+        op_class=op_class,
+        class_code=OP_CLASS_CODE[op_class],
+        is_branch=op in _CONDITIONAL_OPCODES,
+        is_control=op_class in _CONTROL_CLASSES,
+        is_memory=op_class in _MEMORY_CLASSES,
+        is_load=op_class is OpClass.LOAD,
+        is_store=op_class is OpClass.STORE,
+        execution_latency=latency,
+        latency_cycles=float(latency),
+        fu_pool=fu_pool,
+    )
+
+
+#: The interned decode table, one record per opcode, built once at import.
+OPCODE_META: Dict[Opcode, OpcodeMeta] = {op: _decode_opcode(op) for op in Opcode}
+
+
 @dataclass
 class Instruction:
     """One static instruction.
@@ -174,6 +243,12 @@ class Instruction:
     annotation:
         Free-form label attached by workload builders (e.g. ``"list_next"``)
         that profiling and skeleton construction can key off for reporting.
+
+    Classification facts (``op_class``, ``is_branch``, ``execution_latency``,
+    ...) are decoded once at construction from the interned
+    :data:`OPCODE_META` table and stored as plain attributes, so reading them
+    in a timing model's inner loop costs a single attribute load — they keep
+    the exact values the original enum-backed properties produced.
     """
 
     pc: int
@@ -184,51 +259,43 @@ class Instruction:
     target: Optional[int] = None
     annotation: str = ""
 
+    # -- decoded metadata (derived, excluded from eq/repr) ----------------
+    op_class: OpClass = field(init=False, repr=False, compare=False)
+    class_code: int = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_control: bool = field(init=False, repr=False, compare=False)
+    is_memory: bool = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    execution_latency: int = field(init=False, repr=False, compare=False)
+    latency_cycles: float = field(init=False, repr=False, compare=False)
+    fu_pool: int = field(init=False, repr=False, compare=False)
+    writes_register: bool = field(init=False, repr=False, compare=False)
+    byte_address: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.dst is not None:
             validate_register(self.dst)
         for src in self.srcs:
             validate_register(src)
-
-    # -- classification --------------------------------------------------
-    @property
-    def op_class(self) -> OpClass:
-        return _OPCODE_CLASS[self.opcode]
-
-    @property
-    def is_branch(self) -> bool:
-        """True for *conditional* branches only."""
-        return self.opcode in _CONDITIONAL_OPCODES
-
-    @property
-    def is_control(self) -> bool:
-        """True for any instruction that can redirect the PC."""
-        return self.op_class in _CONTROL_CLASSES
+        meta = OPCODE_META[self.opcode]
+        self.op_class = meta.op_class
+        self.class_code = meta.class_code
+        self.is_branch = meta.is_branch
+        self.is_control = meta.is_control
+        self.is_memory = meta.is_memory
+        self.is_load = meta.is_load
+        self.is_store = meta.is_store
+        self.execution_latency = meta.execution_latency
+        self.latency_cycles = meta.latency_cycles
+        self.fu_pool = meta.fu_pool
+        self.writes_register = self.dst is not None and self.dst != ZERO_REGISTER
+        self.byte_address = self.pc * INSTRUCTION_BYTES
 
     @property
-    def is_memory(self) -> bool:
-        return self.op_class in _MEMORY_CLASSES
-
-    @property
-    def is_load(self) -> bool:
-        return self.op_class is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op_class is OpClass.STORE
-
-    @property
-    def writes_register(self) -> bool:
-        return self.dst is not None and self.dst != ZERO_REGISTER
-
-    @property
-    def byte_address(self) -> int:
-        """Byte address of the instruction in the (virtual) text segment."""
-        return self.pc * INSTRUCTION_BYTES
-
-    @property
-    def execution_latency(self) -> int:
-        return LatencyClass.latency_of(self.op_class)
+    def meta(self) -> OpcodeMeta:
+        """The interned decode record for this instruction's opcode."""
+        return OPCODE_META[self.opcode]
 
     # -- pretty-printing -------------------------------------------------
     def __str__(self) -> str:  # pragma: no cover - cosmetic

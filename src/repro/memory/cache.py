@@ -16,7 +16,10 @@ class CacheConfig:
     block_bytes: int = 64
     #: Access latency in core cycles (hit latency of this level).
     latency: int = 3
-    #: Maximum outstanding misses; further misses queue behind existing ones.
+    #: Maximum outstanding misses.  MSHR occupancy is not currently modelled
+    #: in the timing path (see ROADMAP open items); the parameter is kept so
+    #: configurations — and their content fingerprints — stay stable when
+    #: the model lands.
     mshr_entries: int = 32
 
     def __post_init__(self) -> None:
@@ -54,7 +57,7 @@ class CacheStats:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     tag: int
     fill_time: int = 0              # cycle when data is available in this level
@@ -79,41 +82,27 @@ class Cache:
         self.stats = CacheStats()
         #: Look-ahead containment: dirty lines are discarded, never written back.
         self.lookahead_mode = lookahead_mode
+        # Geometry hoisted to plain attributes: lookup() runs millions of
+        # times per simulation and must not chase config properties.
+        self._block_bytes = config.block_bytes
+        self._num_sets = config.num_sets
+        self._latency = config.latency
+        self._associativity = config.associativity
         self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
-        #: Completion times of in-flight misses, for MSHR occupancy modelling.
-        self._outstanding: List[int] = []
 
     # -- address helpers -------------------------------------------------
     def _index_tag(self, address: int) -> Tuple[int, int]:
-        block = address // self.config.block_bytes
-        return block % self.config.num_sets, block // self.config.num_sets
+        block = address // self._block_bytes
+        return block % self._num_sets, block // self._num_sets
 
     def block_address(self, address: int) -> int:
-        return (address // self.config.block_bytes) * self.config.block_bytes
-
-    # -- MSHR ---------------------------------------------------------------
-    def _mshr_delay(self, now: int) -> int:
-        """Extra queueing delay when all MSHRs are busy at ``now``."""
-        self._outstanding = [t for t in self._outstanding if t > now]
-        if len(self._outstanding) < self.config.mshr_entries:
-            return 0
-        earliest_free = min(self._outstanding)
-        delay = max(0, earliest_free - now)
-        self.stats.mshr_stall_cycles += delay
-        return delay
-
-    def _track_miss(self, completion: int) -> None:
-        self._outstanding.append(completion)
-        if len(self._outstanding) > 4 * self.config.mshr_entries:
-            # Keep the list bounded; only future completions matter.
-            cutoff = max(self._outstanding) - 10_000
-            self._outstanding = [t for t in self._outstanding if t >= cutoff]
+        return (address // self._block_bytes) * self._block_bytes
 
     # -- lookups ----------------------------------------------------------
     def probe(self, address: int) -> bool:
         """Presence check with no statistics or LRU side effects."""
-        index, tag = self._index_tag(address)
-        return tag in self._sets[index]
+        block = address // self._block_bytes
+        return (block // self._num_sets) in self._sets[block % self._num_sets]
 
     def lookup(self, address: int, now: int, is_write: bool = False) -> Optional[int]:
         """Demand access.  Returns the cycle the data is available, or ``None``.
@@ -123,42 +112,47 @@ class Cache:
         latency.  A miss returns ``None``; the caller is responsible for
         going to the next level and calling :meth:`fill`.
         """
-        self.stats.accesses += 1
-        index, tag = self._index_tag(address)
-        line = self._sets[index].get(tag)
+        stats = self.stats
+        stats.accesses += 1
+        block = address // self._block_bytes
+        line = self._sets[block % self._num_sets].get(block // self._num_sets)
         if line is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         line.last_use = now
         if is_write:
             line.dirty = True
         if line.from_prefetch and not line.prefetch_used:
             line.prefetch_used = True
-            self.stats.prefetch_hits += 1
+            stats.prefetch_hits += 1
             if line.fill_time > now:
-                self.stats.late_prefetch_hits += 1
-        ready = max(now, line.fill_time)
-        return ready + self.config.latency
+                stats.late_prefetch_hits += 1
+        fill_time = line.fill_time
+        ready = fill_time if fill_time > now else now
+        return ready + self._latency
 
     # -- fills and evictions ----------------------------------------------
     def fill(self, address: int, fill_time: int, dirty: bool = False,
              from_prefetch: bool = False) -> Optional[int]:
         """Install a block; returns the address of a dirty victim needing
         writeback (``None`` otherwise)."""
-        index, tag = self._index_tag(address)
+        block = address // self._block_bytes
+        index = block % self._num_sets
+        tag = block // self._num_sets
         cache_set = self._sets[index]
         if from_prefetch:
             self.stats.prefetches_issued += 1
-        if tag in cache_set:
-            line = cache_set[tag]
+        line = cache_set.get(tag)
+        if line is not None:
             # Keep the earliest availability time; refresh prefetch marking.
-            line.fill_time = min(line.fill_time, fill_time)
+            if fill_time < line.fill_time:
+                line.fill_time = fill_time
             line.dirty = line.dirty or dirty
             return None
 
         victim_writeback: Optional[int] = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._associativity:
             victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
             victim = cache_set.pop(victim_tag)
             self.stats.evictions += 1
@@ -170,8 +164,8 @@ class Cache:
                     pass
                 else:
                     self.stats.writebacks += 1
-                    block = victim_tag * self.config.num_sets + index
-                    victim_writeback = block * self.config.block_bytes
+                    victim_block = victim_tag * self._num_sets + index
+                    victim_writeback = victim_block * self._block_bytes
 
         cache_set[tag] = _Line(
             tag=tag,
@@ -180,14 +174,11 @@ class Cache:
             dirty=dirty,
             from_prefetch=from_prefetch,
         )
-        if not from_prefetch:
-            self._track_miss(fill_time)
         return victim_writeback
 
     def invalidate_all(self) -> None:
         """Drop every line (used when rebooting the look-ahead thread core)."""
         self._sets = [dict() for _ in range(self.config.num_sets)]
-        self._outstanding = []
 
     @property
     def occupancy(self) -> int:

@@ -17,7 +17,7 @@ class AccessType(enum.Enum):
     STORE = "store"
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one demand access through the hierarchy."""
 

@@ -14,6 +14,7 @@ particular laying out linked data structures) is itself non-trivial work.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -40,9 +41,17 @@ class Workload:
     _program: Optional[Program] = field(default=None, repr=False, compare=False)
 
     def build_program(self) -> Program:
-        """Build (and cache) the static program for this workload."""
+        """Build (and cache) the static program for this workload.
+
+        The generator seed is derived with CRC-32 rather than ``hash()``:
+        Python string hashing is salted per process, which would make every
+        process (and every parallel experiment worker) build a *different*
+        program for the same workload name.  A content-stable seed is what
+        makes fingerprint-keyed result caching and parallel fan-out sound.
+        """
         if self._program is None:
-            rng = DeterministicRng(hash(self.name) & 0x7FFFFFFF)
+            seed = zlib.crc32(self.name.encode("utf-8")) & 0x7FFFFFFF
+            rng = DeterministicRng(seed)
             self._program = build_kernel(
                 self.kernel, rng=rng, name=self.name, **self.params
             )
@@ -182,4 +191,9 @@ def all_workloads() -> List[Workload]:
 
 def get_workload(name: str) -> Workload:
     """Look up one workload by benchmark name."""
-    return _BY_NAME[name]
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

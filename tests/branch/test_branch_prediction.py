@@ -121,3 +121,31 @@ def test_ras_overflow_drops_oldest():
 def test_ras_rejects_bad_depth():
     with pytest.raises(ValueError):
         ReturnAddressStack(0)
+
+
+def test_tage_lookup_matches_hash_helpers():
+    """The fused ``_lookup`` inlines the ``_index``/``_tag`` hash formulas;
+    allocation still uses the helpers.  If the two copies ever diverge,
+    allocated entries become unfindable and accuracy silently collapses to
+    the bimodal base — this pins them together."""
+    predictor = TageLitePredictor()
+    rng = DeterministicRng(7)
+    pcs = [rng.randint(0, 4096) for _ in range(40)]
+    for step in range(4000):
+        pc = pcs[step % len(pcs)]
+        predictor.update(pc, taken=(pc ^ step) % 3 != 0)
+        if step % 97 == 0:
+            probe = pcs[(step * 13) % len(pcs)]
+            provider, index, entry = predictor._lookup(probe)
+            expected = None
+            for table in reversed(range(predictor.num_tables)):
+                candidate = predictor._tables[table].get(predictor._index(probe, table))
+                if candidate is not None and candidate.tag == predictor._tag(probe, table):
+                    expected = table
+                    break
+            assert provider == expected
+            if provider is not None:
+                assert index == predictor._index(probe, provider)
+                assert entry.tag == predictor._tag(probe, provider)
+    # The pattern above must actually exercise the tagged tables.
+    assert any(predictor._tables[t] for t in range(predictor.num_tables))

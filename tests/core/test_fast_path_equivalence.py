@@ -1,0 +1,162 @@
+"""Equivalence of the decoded fast path with the original object path.
+
+The decoded-trace fast path (plain-attribute instruction metadata, int FU
+pool codes, heap-based unit scheduling) is a pure performance change: every
+simulation statistic must stay *bit-identical* to what the enum-property
+implementation produced.  ``tests/data/golden_equivalence.json`` holds the
+reference outputs captured from the original object-path implementation for
+three small kernels under BL, DLA and R3-DLA configurations; these tests
+assert exact equality — no tolerances.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import simulate_baseline
+from repro.dla.config import DlaConfig
+from repro.dla.profiling import profile_workload
+from repro.dla.system import DlaSystem
+from repro.emulator.machine import Emulator
+from repro.isa.instructions import (
+    _CONDITIONAL_OPCODES,
+    _CONTROL_CLASSES,
+    _MEMORY_CLASSES,
+    _OPCODE_CLASS,
+    INSTRUCTION_BYTES,
+    LatencyClass,
+    OP_CLASS_CODE,
+    OPCODE_META,
+    Opcode,
+    OpClass,
+)
+from repro.isa.registers import ZERO_REGISTER
+from repro.util.rng import DeterministicRng
+from repro.workloads.kernels import build_kernel
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_equivalence.json"
+
+#: Kernel constructions must match the golden capture exactly.
+KERNELS = {
+    "stream": ("stream_sum", dict(elements=384, passes=3, payload=6), 11),
+    "chase": ("pointer_chase", dict(nodes=128, hops=600, payload=8), 12),
+    "branchy": ("branchy_compute", dict(elements=600, taken_bias=0.5, payload=5), 13),
+}
+WARMUP, TIMED = 2000, 4000
+
+
+def _core_fields(core):
+    return {
+        "cycles": core.cycles,
+        "committed": core.committed,
+        "branches": core.branches,
+        "branch_mispredicts": core.branch_mispredicts,
+        "l1d_accesses": core.l1d_accesses,
+        "l1d_misses": core.l1d_misses,
+        "l2_misses": core.l2_misses,
+        "l1i_misses": core.l1i_misses,
+        "dram_accesses": core.dram_accesses,
+        "btb_misses": core.btb_misses,
+        "decoded": core.decoded,
+        "executed": core.executed,
+        "fetch_bubbles": core.fetch_bubbles,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """Program, trace windows and profile per kernel (built once)."""
+    out = {}
+    for name, (kind, kwargs, seed) in KERNELS.items():
+        program = build_kernel(kind, rng=DeterministicRng(seed),
+                               name=f"golden-{name}", **kwargs)
+        trace = Emulator(program).run(max_instructions=WARMUP + TIMED + 1000)
+        config = SystemConfig()
+        profile = profile_workload(program, trace.window(0, WARMUP + 2000),
+                                   config, timing_window=2000)
+        out[name] = (
+            program,
+            trace.entries[:WARMUP],
+            trace.entries[WARMUP:WARMUP + TIMED],
+            profile,
+            config,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# instruction metadata: decoded attributes == enum-derived classification
+# ---------------------------------------------------------------------------
+def test_decoded_metadata_matches_enum_path(prepared):
+    for program, _, _, _, _ in prepared.values():
+        for inst in program:
+            op_class = _OPCODE_CLASS[inst.opcode]
+            assert inst.op_class is op_class
+            assert inst.class_code == OP_CLASS_CODE[op_class]
+            assert inst.is_branch == (inst.opcode in _CONDITIONAL_OPCODES)
+            assert inst.is_control == (op_class in _CONTROL_CLASSES)
+            assert inst.is_memory == (op_class in _MEMORY_CLASSES)
+            assert inst.is_load == (op_class is OpClass.LOAD)
+            assert inst.is_store == (op_class is OpClass.STORE)
+            assert inst.execution_latency == LatencyClass.latency_of(op_class)
+            assert inst.latency_cycles == float(inst.execution_latency)
+            assert inst.writes_register == (
+                inst.dst is not None and inst.dst != ZERO_REGISTER
+            )
+            assert inst.byte_address == inst.pc * INSTRUCTION_BYTES
+
+
+def test_opcode_meta_table_is_total():
+    assert set(OPCODE_META) == set(Opcode)
+    for meta in OPCODE_META.values():
+        assert meta.latency_cycles == float(meta.execution_latency)
+
+
+# ---------------------------------------------------------------------------
+# whole-system equivalence against the captured object-path reference
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_baseline_outputs_bit_identical(golden, prepared, kernel):
+    program, warmup, timed, profile, config = prepared[kernel]
+    outcome = simulate_baseline(timed, config, warmup_entries=warmup)
+    expected = golden[kernel]["bl"]
+    actual = {
+        **_core_fields(outcome.core),
+        "energy_total": outcome.energy.total,
+        "memory_traffic": outcome.memory_traffic,
+        "dram_energy": outcome.dram_energy,
+    }
+    assert actual == expected
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("config_name", ["dla", "r3"])
+def test_dla_outputs_bit_identical(golden, prepared, kernel, config_name):
+    program, warmup, timed, profile, config = prepared[kernel]
+    dla_config = DlaConfig().baseline_dla() if config_name == "dla" else DlaConfig().r3()
+    system = DlaSystem(program, config, dla_config, profile=profile)
+    outcome = system.simulate(timed, warmup_entries=warmup)
+    expected = golden[kernel][config_name]
+    actual = {
+        "main": _core_fields(outcome.main),
+        "lookahead": _core_fields(outcome.lookahead),
+        "skeleton_dynamic_fraction": outcome.skeleton_dynamic_fraction,
+        "reboots": outcome.reboots,
+        "boq_incorrect": outcome.boq_incorrect,
+        "prefetch_hints_installed": outcome.prefetch_hints_installed,
+        "communication_bits_per_instruction": outcome.communication_bits_per_instruction,
+        "validations_skipped": outcome.validations_skipped,
+        "memory_traffic": outcome.memory_traffic,
+        "dram_energy": outcome.dram_energy,
+        "cpu_energy": outcome.cpu_energy,
+    }
+    assert actual == expected

@@ -1,0 +1,43 @@
+"""Scheduling behaviour of the heap-based functional-unit pool."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import _FunctionalUnitPool, _LinearFunctionalUnitPool
+from repro.util.rng import DeterministicRng
+
+
+def test_single_unit_serialises_reservations():
+    pool = _FunctionalUnitPool(1)
+    assert pool.reserve(0.0, 3.0) == 0.0
+    # Unit busy until 3.0: a request at 1.0 starts when the unit frees.
+    assert pool.reserve(1.0, 2.0) == 3.0
+    # A request after the unit is idle starts immediately.
+    assert pool.reserve(10.0, 1.0) == 10.0
+
+
+def test_earliest_available_unit_is_chosen():
+    pool = _FunctionalUnitPool(2)
+    assert pool.reserve(0.0, 4.0) == 0.0   # unit A busy until 4
+    assert pool.reserve(0.0, 1.0) == 0.0   # unit B busy until 1
+    assert pool.reserve(0.0, 1.0) == 1.0   # B again (earliest available)
+    assert pool.reserve(0.0, 5.0) == 2.0   # B (free at 2) beats A (free at 4)
+    assert pool.reserve(0.0, 1.0) == 4.0   # now A is the earliest
+
+
+def test_zero_unit_pool_degrades_to_one():
+    pool = _FunctionalUnitPool(0)
+    assert pool.reserve(0.0, 2.0) == 0.0
+    assert pool.reserve(0.0, 2.0) == 2.0
+
+
+def test_heap_pool_matches_linear_reference():
+    """The heap pool must reproduce the original O(n) scan bit-for-bit."""
+    rng = DeterministicRng(42)
+    for units in (1, 2, 3, 4, 7):
+        heap_pool = _FunctionalUnitPool(units)
+        linear_pool = _LinearFunctionalUnitPool(units)
+        clock = 0.0
+        for _ in range(2000):
+            clock += rng.uniform(0.0, 1.5)
+            busy = 1.0 + rng.uniform(0.0, 12.0)
+            assert heap_pool.reserve(clock, busy) == linear_pool.reserve(clock, busy)
