@@ -89,6 +89,9 @@ def pytest_sessionfinish(session, exitstatus):
     payload = dict(_RUNNER.stats.as_dict())
     payload["suite_wall_seconds"] = round(wall, 2)
     payload["workloads"] = len(_RUNNER.workload_names)
+    # Warmup replays avoided by the warmed-memory memo this session
+    # (this process plus any parallel workers).
+    payload.update(_RUNNER.warm_memo_totals())
     update_bench_report(
         f"suite_{mode}", payload,
         path=_BENCH_DIR.parent / "BENCH_sim_throughput.json",

@@ -1,4 +1,42 @@
-"""Setup shim so legacy editable installs work in offline environments."""
-from setuptools import setup
+"""Packaging for the R3-DLA reproduction.
 
-setup()
+Pure-stdlib project: no install_requires.  ``pip install -e .`` exposes the
+``repro`` console entry point (campaign CLI) without any PYTHONPATH setup.
+"""
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_ROOT = Path(__file__).parent
+_README = _ROOT / "README.md"
+#: Single source of truth: repro.__version__ (parsed, not imported, so the
+#: build needs no importable package).
+_VERSION = re.search(
+    r'__version__ = "([^"]+)"',
+    (_ROOT / "src" / "repro" / "__init__.py").read_text(),
+).group(1)
+
+setup(
+    name="repro-r3dla",
+    version=_VERSION,
+    description="Pure-Python reproduction of R3-DLA (HPCA'19): decoupled "
+                "look-ahead simulator, experiment engine and campaign CLI",
+    long_description=_README.read_text() if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.campaign.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

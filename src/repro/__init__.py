@@ -32,7 +32,7 @@ from repro.dla.system import DlaOutcome, DlaSystem
 from repro.dla.profiling import profile_workload
 from repro.workloads.suites import all_workloads, get_workload, suite_workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoreConfig",

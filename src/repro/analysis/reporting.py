@@ -36,6 +36,35 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = 
     return "\n".join([header, separator] + body)
 
 
+def format_markdown_table(rows: Sequence[Mapping[str, object]],
+                          columns: Sequence[str] = None,
+                          float_format: str = "{:.3f}") -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table.
+
+    Uses the same float formatting as :func:`format_table` so a Markdown
+    artifact shows exactly the numbers the plain-text rendering shows.
+    """
+    if not rows:
+        return "*(empty table)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(str(col) for col in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(render(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
 def format_bar_chart(values: Mapping[str, float], width: int = 40,
                      float_format: str = "{:.2f}") -> str:
     """Render a horizontal ASCII bar chart (one bar per key)."""

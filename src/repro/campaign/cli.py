@@ -1,0 +1,214 @@
+"""The ``repro`` console entry point.
+
+Subcommands::
+
+    repro list [--tag TAG]               # every runnable campaign
+    repro run NAME... [--quick|--full]   # execute campaigns (resumable)
+    repro run --smoke                    # the CI-sized smoke campaign
+    repro render NAME... [--out DIR]     # stored results -> CSV/MD/JSON
+    repro status [NAME...]               # cell-level progress per campaign
+    repro clean NAME... | --all          # drop campaign bookkeeping
+
+``run`` is resumable by construction: every simulation persists in the
+fingerprint-keyed disk cache the moment it finishes, so a rerun after an
+interrupt re-simulates nothing that already completed.  Campaign manifests
+and results live under ``.repro_cache/campaigns/``; rendered artifacts are
+written under ``artifacts/<campaign>/`` by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.registry import get_campaign, list_campaigns, register
+from repro.campaign.render import RenderError, render_campaign
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.spec import CampaignSpec, SpecError
+from repro.campaign.store import CampaignStore, campaigns_root
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative, resumable campaigns for the R3-DLA "
+                    "reproduction (paper figures, tables and custom sweeps).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list runnable campaigns")
+    p_list.add_argument("--tag", help="only campaigns carrying this tag")
+
+    p_run = sub.add_parser("run", help="run campaigns (resumable)")
+    p_run.add_argument("campaigns", nargs="*", metavar="NAME",
+                       help="campaign names (see `repro list`)")
+    mode = p_run.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true",
+                      help="representative workload subset, short windows "
+                           "(default)")
+    mode.add_argument("--full", action="store_true",
+                      help="every workload, longer windows")
+    p_run.add_argument("--smoke", action="store_true",
+                       help="run the CI-sized smoke campaign")
+    p_run.add_argument("--spec", metavar="FILE",
+                       help="also register campaign spec(s) from a JSON file")
+    p_run.add_argument("--processes", type=int, default=None,
+                       help="parallel worker processes (default: auto)")
+    p_run.add_argument("--force", action="store_true",
+                       help="reset campaign bookkeeping before running")
+    p_run.add_argument("--no-render", action="store_true",
+                       help="skip writing artifacts after the run")
+    p_run.add_argument("--out", default=None, metavar="DIR",
+                       help="artifacts directory (default: artifacts/)")
+
+    p_render = sub.add_parser("render", help="render stored results")
+    p_render.add_argument("campaigns", nargs="+", metavar="NAME")
+    p_render.add_argument("--out", default=None, metavar="DIR")
+
+    p_status = sub.add_parser("status", help="campaign progress")
+    p_status.add_argument("campaigns", nargs="*", metavar="NAME")
+
+    p_clean = sub.add_parser("clean", help="drop campaign bookkeeping "
+                                           "(simulation cache is untouched)")
+    p_clean.add_argument("campaigns", nargs="*", metavar="NAME")
+    p_clean.add_argument("--all", action="store_true", dest="clean_all")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def _cmd_list(args) -> int:
+    specs = list_campaigns(tag=args.tag)
+    if not specs:
+        print("no campaigns registered")
+        return 1
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        cells = f"{len(spec.variants)} variants" if spec.variants else "analysis"
+        tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"{spec.name.ljust(width)}  {cells:>12}  {spec.title}{tags}")
+    return 0
+
+
+def _load_spec_file(path: str) -> List[CampaignSpec]:
+    data = json.loads(Path(path).read_text())
+    entries = data if isinstance(data, list) else [data]
+    specs = [CampaignSpec.from_dict(entry) for entry in entries]
+    for spec in specs:
+        register(spec, replace=True)
+    return specs
+
+
+def _cmd_run(args) -> int:
+    quick = not args.full
+    names = list(args.campaigns)
+    if args.spec:
+        loaded = _load_spec_file(args.spec)
+        if not names:
+            names = [spec.name for spec in loaded]
+    if args.smoke:
+        names.append("smoke")
+    if not names:
+        print("nothing to run: name at least one campaign, or use --smoke",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        spec = get_campaign(name)
+        if spec is None:
+            print(f"unknown campaign {name!r} (try `repro list`)", file=sys.stderr)
+            return 2
+        store = CampaignStore(spec.name)
+        if args.force:
+            store.clear()
+        run_campaign(spec, quick=quick, processes=args.processes,
+                     store=store, progress=print)
+        if not args.no_render:
+            for path in render_campaign(spec.name, store=store, out_dir=args.out):
+                print(f"[{spec.name}] wrote {path}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    for name in args.campaigns:
+        try:
+            for path in render_campaign(name, out_dir=args.out):
+                print(f"[{name}] wrote {path}")
+        except RenderError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+    return 0
+
+
+def _known_store_names() -> List[str]:
+    root = campaigns_root()
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.iterdir() if p.is_dir())
+
+
+def _cmd_status(args) -> int:
+    names = list(args.campaigns) or _known_store_names()
+    if not names:
+        print("no campaigns have been run yet")
+        return 0
+    for name in names:
+        status = CampaignStore(name).status()
+        if status.get("state") == "never run":
+            print(f"{name}: never run")
+            continue
+        print(
+            f"{name}: {status['state']} ({status.get('mode')}); "
+            f"cells {status.get('cells_cached', 0)}/{status.get('cells_planned', 0)} "
+            f"cached; updated {status.get('updated_at')}"
+        )
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    names = list(args.campaigns)
+    if args.clean_all:
+        names = _known_store_names()
+    if not names:
+        print("nothing to clean: name campaigns or pass --all", file=sys.stderr)
+        return 2
+    for name in names:
+        removed = CampaignStore(name).clear()
+        print(f"{name}: removed {removed} file(s)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "render":
+            return _cmd_render(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "clean":
+            return _cmd_clean(args)
+    except SpecError as error:
+        print(f"spec error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted — rerun to resume (finished cells are cached)",
+              file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

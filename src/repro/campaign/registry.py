@@ -1,0 +1,144 @@
+"""Campaign registry: every paper artefact plus scenario sweeps, by name.
+
+Built-in campaigns come from two places:
+
+* every experiment module under :mod:`repro.experiments` ships a
+  ``CAMPAIGN`` spec (imported lazily here, so importing an experiment module
+  never recursively triggers the registry);
+* this module defines campaigns *beyond* the paper's set — named scenario
+  sweeps over the behavioural workload groupings of
+  :data:`repro.workloads.suites.SCENARIOS` and a tiny ``smoke`` campaign for
+  CI.
+
+``register()`` accepts user-defined specs at run time (e.g. loaded from a
+JSON file by the CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.campaign.spec import CampaignSpec, SpecError, variants
+
+#: Experiment modules whose ``CAMPAIGN`` attribute is auto-registered.
+BUILTIN_EXPERIMENT_MODULES = (
+    "repro.experiments.fig01_ilp",
+    "repro.experiments.fig05_fetch_model",
+    "repro.experiments.fig09_speedup",
+    "repro.experiments.fig10_energy",
+    "repro.experiments.fig11_smt",
+    "repro.experiments.fig12_t1",
+    "repro.experiments.fig13_breakdown",
+    "repro.experiments.fig14_queue_validation",
+    "repro.experiments.fig15_recycle_dist",
+    "repro.experiments.table02_activity",
+    "repro.experiments.table03_mpki",
+)
+
+_REGISTRY: Dict[str, CampaignSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register(spec: CampaignSpec, replace: bool = False) -> CampaignSpec:
+    """Add ``spec`` to the registry (raises on duplicate unless ``replace``)."""
+    spec.validate()
+    if not replace and spec.name in _REGISTRY:
+        raise SpecError(f"campaign {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _scenario_sweeps() -> List[CampaignSpec]:
+    """Scenario-sweep campaigns beyond the paper's figure/table set."""
+    from repro.experiments.fig09_speedup import CAMPAIGN as FIG09
+    from repro.workloads.suites import SCENARIOS
+
+    matrix = FIG09.variants
+    sweeps = [
+        CampaignSpec(
+            name=f"sweep-{scenario}",
+            title=f"Scenario sweep — {scenario} workloads",
+            experiment="repro.experiments.fig09_speedup",
+            description=(
+                f"The headline {{BL, DLA, R3-DLA}} comparison restricted to "
+                f"the '{scenario}' behavioural scenario: "
+                + ", ".join(SCENARIOS[scenario]) + "."
+            ),
+            workloads=(f"scenario:{scenario}",),
+            variants=matrix,
+            tags=("sweep", "scenario"),
+        )
+        for scenario in SCENARIOS
+    ]
+    from repro.experiments.fig13_breakdown import CAMPAIGN as FIG13
+
+    sweeps.append(
+        CampaignSpec(
+            name="sweep-fetch-buffer",
+            title="Design sweep — fetch-buffer capacity on BL vs DLA",
+            experiment="repro.experiments.fig13_breakdown",
+            description="Fig. 13's ablation matrix over the branchy scenario, "
+                        "where the fetch buffer matters most.",
+            workloads=("scenario:branchy",),
+            variants=FIG13.variants,
+            tags=("sweep", "frontend"),
+        )
+    )
+    return sweeps
+
+
+def _smoke_campaign() -> CampaignSpec:
+    """A CI-sized end-to-end campaign: two workloads, short windows."""
+    return CampaignSpec(
+        name="smoke",
+        title="Smoke — minimal end-to-end campaign for CI",
+        experiment="repro.experiments.fig09_speedup",
+        description="Two representative workloads with 1.5k+1.5k windows "
+                    "through the full spec -> cells -> store -> render path.",
+        workloads=("libquantum", "mcf"),
+        variants=variants(
+            dict(name="bl", kind="baseline"),
+            dict(name="bl-nopf", kind="baseline", prefetch="none"),
+            dict(name="dla", kind="dla", dla_preset="dla"),
+            dict(name="dla-nopf", kind="dla", dla_preset="dla", prefetch="none"),
+            dict(name="r3", kind="dla", dla_preset="r3"),
+            dict(name="r3-nopf", kind="dla", dla_preset="r3", prefetch="none"),
+        ),
+        warmup_instructions=1500,
+        timed_instructions=1500,
+        tags=("ci",),
+    )
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import importlib
+
+    for module_path in BUILTIN_EXPERIMENT_MODULES:
+        module = importlib.import_module(module_path)
+        spec = getattr(module, "CAMPAIGN", None)
+        if spec is not None and spec.name not in _REGISTRY:
+            register(spec)
+    for spec in _scenario_sweeps():
+        if spec.name not in _REGISTRY:
+            register(spec)
+    if "smoke" not in _REGISTRY:
+        register(_smoke_campaign())
+    _BUILTINS_LOADED = True
+
+
+def get_campaign(name: str) -> Optional[CampaignSpec]:
+    """The registered spec for ``name`` (``None`` if unknown)."""
+    _ensure_builtins()
+    return _REGISTRY.get(name)
+
+
+def list_campaigns(tag: Optional[str] = None) -> List[CampaignSpec]:
+    """Every registered campaign, sorted by name (optionally tag-filtered)."""
+    _ensure_builtins()
+    specs = sorted(_REGISTRY.values(), key=lambda spec: spec.name)
+    if tag is not None:
+        specs = [spec for spec in specs if tag in spec.tags]
+    return specs

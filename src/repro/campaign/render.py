@@ -1,0 +1,118 @@
+"""Artifact rendering: stored campaign results -> CSV/JSON/Markdown files.
+
+Renderers read the campaign store (they never simulate) and write under
+``artifacts/<campaign>/``:
+
+* one ``<table>.csv`` per structured table, full-precision values;
+* ``<campaign>.md`` — provenance, every table in Markdown form (same float
+  formatting as the figure modules' plain-text tables), and the experiment
+  module's rendered text **verbatim**, so the Markdown artifact shows
+  bit-for-bit the numbers a direct ``python -m repro.experiments.<module>``
+  run prints;
+* ``<campaign>.json`` — the full structured payload for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.reporting import format_markdown_table
+from repro.campaign.store import CampaignStore
+
+DEFAULT_ARTIFACTS_DIR = "artifacts"
+
+
+class RenderError(RuntimeError):
+    """Rendering was requested for a campaign with no stored result."""
+
+
+def _columns(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """First-row key order, extended by any keys later rows introduce."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _csv_value(value: object) -> object:
+    # repr keeps full float precision (round-trippable); csv handles the rest.
+    if isinstance(value, float):
+        return repr(value)
+    return value
+
+
+def write_csv(path: Path, rows: Sequence[Mapping[str, object]]) -> Path:
+    columns = _columns(rows)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: _csv_value(row.get(col, "")) for col in columns})
+    return path
+
+
+def render_markdown(result: Mapping[str, object]) -> str:
+    """The Markdown artifact body for one stored campaign result."""
+    lines: List[str] = [f"# {result.get('title') or result.get('campaign')}", ""]
+    description = result.get("description")
+    if description:
+        lines += [str(description), ""]
+    run = result.get("run") or {}
+    lines += [
+        f"- campaign: `{result.get('campaign')}`",
+        f"- experiment: `{result.get('experiment')}`",
+        f"- mode: {result.get('mode')}",
+        f"- generated: {result.get('generated_at')}",
+        f"- spec fingerprint: `{result.get('spec_fingerprint')}`",
+        f"- cells: {run.get('cells_total', 0)} "
+        f"({run.get('cells_simulated', 0)} simulated, "
+        f"{run.get('cells_from_cache', 0)} from cache)",
+        "",
+    ]
+    tables = result.get("tables") or {}
+    for name, rows in tables.items():
+        lines += [f"## {name}", "", format_markdown_table(rows), ""]
+    text = result.get("text")
+    if text:
+        lines += ["## rendered output", "", "```", str(text), "```", ""]
+    return "\n".join(lines)
+
+
+def render_campaign(
+    name: str,
+    store: Optional[CampaignStore] = None,
+    out_dir: Optional[str] = None,
+    campaigns_dir: Optional[str] = None,
+) -> List[Path]:
+    """Write every artifact for ``name``; returns the created paths.
+
+    ``campaigns_dir`` overrides the campaigns directory itself (the default
+    is ``<cache dir>/campaigns`` — see :func:`~repro.campaign.store.campaigns_root`).
+    """
+    store = store or CampaignStore(name, campaigns_dir)
+    result = store.load_result()
+    if result is None:
+        raise RenderError(
+            f"campaign {name!r} has no stored result — run `repro run {name}` first"
+        )
+    out = Path(out_dir or DEFAULT_ARTIFACTS_DIR) / name
+    out.mkdir(parents=True, exist_ok=True)
+
+    written: List[Path] = []
+    tables: Dict[str, List[Mapping[str, object]]] = result.get("tables") or {}
+    for table_name, rows in tables.items():
+        if rows:
+            written.append(write_csv(out / f"{table_name}.csv", rows))
+    markdown = out / f"{name}.md"
+    markdown.write_text(render_markdown(result) + "\n")
+    written.append(markdown)
+    payload = out / f"{name}.json"
+    # No key sorting: table rows keep their experiment module's column order.
+    payload.write_text(json.dumps(result, indent=2) + "\n")
+    written.append(payload)
+    return written

@@ -1,0 +1,207 @@
+"""Campaign scheduling: flatten a spec into cells and drive them.
+
+The scheduler materialises a :class:`~repro.campaign.spec.CampaignSpec`
+against a :class:`~repro.experiments.parallel.ParallelExperimentRunner`:
+
+1. the spec's (workload x variant) matrix becomes a list of *cells*
+   (:class:`~repro.experiments.parallel.SimRequest`), each identified by the
+   same content fingerprint the figure modules use;
+2. pending cells (not in the in-memory or on-disk result cache) are
+   pre-computed through the parallel runner — fan-out over worker processes
+   when available, inline otherwise;
+3. the campaign's experiment module assembles the artefact from the warmed
+   caches (``module.run(runner)``), and its structured tables plus rendered
+   text are persisted in the campaign store;
+4. throughput numbers are merged into ``BENCH_sim_throughput.json`` under
+   ``campaign_<name>``.
+
+Because every cell is keyed by content fingerprint and persisted in the
+shared disk cache the moment it finishes, a campaign killed mid-run resumes
+exactly where it stopped: the next run screens finished cells as cache hits
+and re-simulates nothing.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.campaign.spec import CampaignSpec, SpecError
+from repro.campaign.store import CampaignStore
+from repro.experiments.parallel import ParallelExperimentRunner, SimRequest
+
+Progress = Callable[[str], None]
+
+
+def _silent(_message: str) -> None:
+    return None
+
+
+class CampaignScheduler:
+    """Plans and executes one campaign against one runner."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        quick: bool = True,
+        processes: Optional[int] = None,
+        store: Optional[CampaignStore] = None,
+        runner: Optional[ParallelExperimentRunner] = None,
+        progress: Optional[Progress] = None,
+        bench_report: bool = True,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.quick = quick
+        self.store = store or CampaignStore(spec.name)
+        self.progress = progress or _silent
+        self.bench_report = bench_report
+        self.runner = runner or ParallelExperimentRunner(
+            quick=quick,
+            workload_names=spec.resolve_workloads(),
+            warmup_instructions=spec.warmup_instructions,
+            timed_instructions=spec.timed_instructions,
+            processes=processes,
+        )
+
+    # ------------------------------------------------------------------
+    def cell_workloads(self) -> List[str]:
+        """Workloads that get matrix cells (may sub-sample in quick mode)."""
+        names = list(self.runner.workload_names)
+        limit = self.spec.max_cell_workloads_quick
+        if self.quick and limit is not None:
+            names = names[:limit]
+        return names
+
+    def cells(self) -> List[SimRequest]:
+        """The flattened (workload, variant) simulation matrix."""
+        base = self.runner.system_config
+        requests: List[SimRequest] = []
+        for workload in self.cell_workloads():
+            for variant in self.spec.variants:
+                requests.append(
+                    SimRequest(
+                        workload=workload,
+                        kind=variant.kind,
+                        label=variant.name,
+                        system_config=variant.system_config(base),
+                        dla_config=variant.dla_config(),
+                        dynamic=variant.dynamic,
+                    )
+                )
+        return requests
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, object]:
+        """Execute the campaign; returns the run summary (also persisted)."""
+        mode = "quick" if self.quick else "full"
+        manifest = self.store.begin(self.spec, mode)
+        requests = self.cells()
+        started = time.perf_counter()
+        stats_before = self.runner.stats.copy()
+
+        self.progress(
+            f"[{self.spec.name}] {len(requests)} cells across "
+            f"{len(self.cell_workloads())} workloads ({mode} mode)"
+        )
+        executed = self.runner.warm(requests) if requests else 0
+        cell_stats = self.runner.stats.since(stats_before)
+        self._record_cells(manifest, requests)
+        if requests:
+            self.progress(
+                f"[{self.spec.name}] cells done: {executed} simulated, "
+                f"{len(requests) - executed} from cache "
+                f"({cell_stats.simulation_seconds:.1f}s simulating)"
+            )
+
+        module = importlib.import_module(self.spec.experiment)
+        result = module.run(self.runner)
+        tables = self._tables(module, result)
+        text = result.render()
+        run_stats = self.runner.stats.since(stats_before)
+        wall = time.perf_counter() - started
+
+        summary: Dict[str, object] = {
+            "mode": mode,
+            "cells_total": len(requests),
+            "cells_simulated": executed,
+            "cells_from_cache": len(requests) - executed,
+            "wall_seconds": round(wall, 2),
+        }
+        summary.update(run_stats.as_dict())
+        self.store.record_run(manifest, summary)
+        self.store.save_result(
+            {
+                "campaign": self.spec.name,
+                "title": self.spec.title,
+                "description": self.spec.description,
+                "experiment": self.spec.experiment,
+                "spec_fingerprint": self.spec.fingerprint(),
+                "mode": mode,
+                "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "tables": tables,
+                "text": text,
+                "run": summary,
+            }
+        )
+
+        if self.bench_report:
+            from repro.experiments.bench import update_bench_report
+
+            try:
+                update_bench_report(f"campaign_{self.spec.name}", summary)
+            except OSError:
+                pass   # read-only checkout: trajectory is best-effort
+        self.progress(
+            f"[{self.spec.name}] assembled in {wall:.1f}s "
+            f"({run_stats.simulations} simulations, "
+            f"{run_stats.memory_hits + run_stats.disk_hits} cache hits)"
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    def _record_cells(self, manifest: Dict[str, object],
+                      requests: List[SimRequest]) -> None:
+        records: Dict[str, Dict[str, object]] = {}
+        for request in requests:
+            key = self.runner.request_key(request)
+            records[key] = {
+                "workload": request.workload,
+                "variant": request.label,
+                "kind": request.kind,
+                "status": "done",
+            }
+        self.store.record_cells(manifest, records)
+
+    @staticmethod
+    def _tables(module, result) -> Dict[str, List[Dict[str, object]]]:
+        hook = getattr(module, "artifact_tables", None)
+        if hook is None:
+            return {}
+        return {name: list(rows) for name, rows in hook(result).items()}
+
+
+def run_campaign(
+    campaign: Union[str, CampaignSpec],
+    quick: bool = True,
+    processes: Optional[int] = None,
+    store: Optional[CampaignStore] = None,
+    runner: Optional[ParallelExperimentRunner] = None,
+    progress: Optional[Progress] = None,
+    bench_report: bool = True,
+) -> Dict[str, object]:
+    """Resolve ``campaign`` (name or spec) and execute it."""
+    if isinstance(campaign, str):
+        from repro.campaign.registry import get_campaign
+
+        spec = get_campaign(campaign)
+        if spec is None:
+            raise SpecError(f"unknown campaign {campaign!r} (try `repro list`)")
+    else:
+        spec = campaign
+    scheduler = CampaignScheduler(
+        spec, quick=quick, processes=processes, store=store,
+        runner=runner, progress=progress, bench_report=bench_report,
+    )
+    return scheduler.run()

@@ -1,0 +1,185 @@
+"""Resumable campaign result store.
+
+One directory per campaign under ``.repro_cache/campaigns/<name>/`` holding:
+
+``manifest.json``
+    The spec (dict form), its content fingerprint, the run mode, and one
+    record per (workload, variant) cell: content key, status and timing of
+    the last run that touched it.
+
+``result.json``
+    The assembled artefact: structured tables (JSON rows), the experiment
+    module's rendered text (verbatim), and run metadata.
+
+Resumability does **not** depend on the manifest: ground truth for "has this
+cell been simulated" is the fingerprint-keyed simulation disk cache (shared
+with the figure modules and the benchmark suite).  The manifest records what
+the campaign *planned* and what each run *observed*, so ``repro status`` can
+report progress without simulating anything, and a spec change (different
+fingerprint) visibly resets the bookkeeping while stale simulation results
+remain impossible by construction (code-salted cache keys).
+
+Writes are atomic (temp file + ``os.replace``), matching the disk cache's
+concurrency contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+
+MANIFEST_NAME = "manifest.json"
+RESULT_NAME = "result.json"
+
+
+def campaigns_root(root: Optional[os.PathLike] = None) -> Path:
+    """The campaigns directory (inside the simulation cache directory)."""
+    if root is not None:
+        return Path(root)
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)) / "campaigns"
+
+
+def _atomic_write_json(path: Path, payload: object, sort_keys: bool = True) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=sort_keys) + "\n")
+    os.replace(tmp, path)
+
+
+class CampaignStore:
+    """Manifest + result persistence for one campaign."""
+
+    def __init__(self, name: str, root: Optional[os.PathLike] = None) -> None:
+        self.name = name
+        self.directory = campaigns_root(root) / name
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def result_path(self) -> Path:
+        return self.directory / RESULT_NAME
+
+    def load_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def save_manifest(self, manifest: Mapping[str, object]) -> None:
+        payload = dict(manifest)
+        payload["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        _atomic_write_json(self.manifest_path, payload)
+
+    # ------------------------------------------------------------------
+    def begin(self, spec: CampaignSpec, mode: str) -> Dict[str, object]:
+        """Open (or reset) the manifest for a run of ``spec``.
+
+        An existing manifest written for a different spec fingerprint or
+        mode is reset — its cell bookkeeping describes a different campaign
+        shape.  Simulation results are unaffected (they live in the shared
+        disk cache under content keys).
+        """
+        fingerprint = spec.fingerprint()
+        manifest = self.load_manifest()
+        if (
+            manifest is None
+            or manifest.get("spec_fingerprint") != fingerprint
+            or manifest.get("mode") != mode
+        ):
+            manifest = {
+                "campaign": self.name,
+                "spec": spec.to_dict(),
+                "spec_fingerprint": fingerprint,
+                "mode": mode,
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "cells": {},
+            }
+        self.save_manifest(manifest)
+        return manifest
+
+    def record_cells(self, manifest: Dict[str, object],
+                     records: Mapping[str, Mapping[str, object]]) -> None:
+        """Merge per-cell records (key -> info) and persist the manifest."""
+        cells = manifest.setdefault("cells", {})
+        for key, info in records.items():
+            cells[key] = dict(info)
+        self.save_manifest(manifest)
+
+    def record_run(self, manifest: Dict[str, object],
+                   summary: Mapping[str, object]) -> None:
+        manifest["last_run"] = dict(summary)
+        self.save_manifest(manifest)
+
+    # ------------------------------------------------------------------
+    def save_result(self, payload: Mapping[str, object]) -> Path:
+        # Insertion order is meaningful here: table rows keep the column
+        # order their experiment module emitted.
+        _atomic_write_json(self.result_path, dict(payload), sort_keys=False)
+        return self.result_path
+
+    def load_result(self) -> Optional[Dict[str, object]]:
+        try:
+            result = json.loads(self.result_path.read_text())
+        except (OSError, ValueError):
+            return None
+        return result if isinstance(result, dict) else None
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Live progress summary: manifest bookkeeping + disk-cache truth."""
+        manifest = self.load_manifest()
+        if manifest is None:
+            return {"campaign": self.name, "state": "never run"}
+        from repro.experiments.cache import (
+            ResultDiskCache, disk_cache_enabled, salted_key,
+        )
+
+        cells = manifest.get("cells", {})
+        cached = 0
+        if disk_cache_enabled():
+            disk = ResultDiskCache()
+            cached = sum(1 for key in cells if disk.contains(salted_key(key)))
+        # A result only counts as complete if it was assembled for the
+        # manifest's current spec/mode; a mode or spec change leaves the old
+        # result.json behind until the new run finishes.
+        result = self.load_result()
+        complete = (
+            result is not None
+            and result.get("spec_fingerprint") == manifest.get("spec_fingerprint")
+            and result.get("mode") == manifest.get("mode")
+        )
+        return {
+            "campaign": self.name,
+            "state": "complete" if complete else "partial",
+            "mode": manifest.get("mode"),
+            "cells_planned": len(cells),
+            "cells_cached": cached,
+            "has_result": self.result_path.exists(),
+            "updated_at": manifest.get("updated_at"),
+            "last_run": manifest.get("last_run"),
+        }
+
+    def clear(self) -> int:
+        """Delete this campaign's manifest/result files; returns count."""
+        removed = 0
+        for path in (self.manifest_path, self.result_path):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            self.directory.rmdir()
+        except OSError:
+            pass
+        return removed

@@ -83,14 +83,20 @@ class SystemConfig:
 
     def with_overrides(self, **core_overrides) -> "SystemConfig":
         """A copy of this config with selected core fields replaced."""
-        return SystemConfig(
-            core=replace(self.core, **core_overrides),
-            memory=self.memory,
-            l2_prefetcher=self.l2_prefetcher,
-            l1_prefetcher=self.l1_prefetcher,
-            frequency_ghz=self.frequency_ghz,
-            voltage=self.voltage,
-        )
+        return replace(self, core=replace(self.core, **core_overrides))
+
+    def without_prefetchers(self) -> "SystemConfig":
+        """A copy with every hardware prefetcher disabled (the "noPF" axis).
+
+        Uses ``replace`` so every other field — including frequency/voltage
+        — carries over; the campaign layer and the runner presets must
+        materialise identical configs or their fingerprints diverge.
+        """
+        return replace(self, l2_prefetcher="none", l1_prefetcher="none")
+
+    def with_l1_stride(self) -> "SystemConfig":
+        """A copy with an added L1 stride prefetcher (Sec. IV-C1)."""
+        return replace(self, l1_prefetcher="stride")
 
 
 def smt_full_core_config() -> CoreConfig:

@@ -7,8 +7,9 @@ against.  The DLA system (two cores plus queues) lives in :mod:`repro.dla`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.energy import EnergyBreakdown, EnergyModel
@@ -17,6 +18,14 @@ from repro.core.results import CoreResult
 from repro.emulator.trace import DynamicInst, Trace
 from repro.memory.hierarchy import AccessType, CoreMemorySystem, SharedMemorySystem
 from repro.prefetch import make_prefetcher
+
+#: Set to ``0`` to disable the warmed-memory memoization (always replay).
+WARM_MEMO_ENV = "REPRO_WARM_MEMO"
+
+
+def warm_memo_enabled() -> bool:
+    """Whether warmed-memory snapshots are reused (default: yes)."""
+    return os.environ.get(WARM_MEMO_ENV, "1") not in ("0", "false", "no")
 
 
 @dataclass
@@ -41,9 +50,9 @@ class SimulationOutcome:
         return self.core.ipc
 
 
-def warm_memory_system(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
-                       cycles_per_access: int = 2) -> None:
-    """Warm a core's caches/TLB by replaying a trace's memory behaviour.
+def _replay_warmup(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
+                   cycles_per_access: int = 2) -> None:
+    """Warm one core's caches/TLB by replaying a trace's memory behaviour.
 
     The paper warms the caches for 100M instructions before each SimPoint
     interval; this helper provides the equivalent for the (much shorter)
@@ -69,6 +78,136 @@ def warm_memory_system(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
         elif static.is_store:
             access(entry.effective_address, cycle, acc_store)
         cycle += cycles_per_access
+
+
+class WarmupMemo:
+    """Replays each warmup window once per (trace, cache geometry) and
+    restores post-warm snapshots thereafter.
+
+    Every simulation of one workload replays the same warmup window into a
+    freshly-built memory system (~21 times per workload across the quick
+    experiment matrix).  The post-warm state is fully determined by the
+    warmup entries, the hierarchy geometry, the group of cores being warmed
+    (order and look-ahead modes) and the replay pacing — so the first warm
+    records a snapshot and every later structurally-identical warm restores
+    it instead of replaying.
+
+    Soundness requirements (all call sites satisfy them):
+
+    * the memory systems are freshly constructed (pre-warm state is the
+      canonical empty state);
+    * every memory in a group shares one :class:`SharedMemorySystem`, and a
+      multi-core warm always goes through one group call so the combined
+      shared-level state is captured and restored atomically;
+    * warmup entry lists are never mutated.  Groups are keyed by the entry
+      list's identity (with a strong reference retained so ids can never be
+      recycled), which is exact because runners reuse one list per workload;
+      a same-content copy merely replays once more.
+    """
+
+    #: Bound on retained snapshots: enough for a full-eval campaign (34
+    #: workloads x a few warm groups) while capping memory in long-lived
+    #: processes that keep constructing fresh runners/trace windows.
+    MAX_SNAPSHOTS = 256
+
+    def __init__(self, max_snapshots: int = MAX_SNAPSHOTS) -> None:
+        self._snapshots: Dict[tuple, tuple] = {}
+        #: Strong references keeping id()-keyed entry lists alive.
+        self._retained: Dict[int, Sequence[DynamicInst]] = {}
+        self.max_snapshots = max_snapshots
+        self.replays = 0
+        self.restores = 0
+
+    def _key(self, memories: Tuple[CoreMemorySystem, ...],
+             entries: Sequence[DynamicInst], cycles_per_access: int) -> tuple:
+        from repro.experiments.fingerprint import fingerprint
+
+        token = id(entries)
+        self._retained.setdefault(token, entries)
+        geometry = fingerprint(
+            [memory.config for memory in memories],
+            [memory.lookahead_mode for memory in memories],
+        )
+        return token, geometry, cycles_per_access
+
+    def warm(self, memories: Tuple[CoreMemorySystem, ...],
+             entries: Sequence[DynamicInst], cycles_per_access: int = 2) -> None:
+        shared = memories[0].shared
+        if any(memory.shared is not shared for memory in memories):
+            raise ValueError("a warm group must share one SharedMemorySystem")
+        key = self._key(memories, entries, cycles_per_access)
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            for memory in memories:
+                _replay_warmup(memory, entries, cycles_per_access)
+            self.replays += 1
+            self._evict_to_fit(key)
+            self._snapshots[key] = (
+                shared.snapshot_state(),
+                tuple(memory.snapshot_state() for memory in memories),
+            )
+            return
+        shared_state, memory_states = snapshot
+        shared.restore_state(shared_state)
+        for memory, state in zip(memories, memory_states):
+            memory.restore_state(state)
+        self.restores += 1
+
+    def _evict_to_fit(self, incoming_key: tuple) -> None:
+        """Drop oldest snapshots (FIFO) so the memo stays bounded.
+
+        A retained entries reference may only be released when *no* snapshot
+        uses its token any more — including ``incoming_key``, which is about
+        to be inserted: dropping its token's reference here would let the
+        id be recycled under a live snapshot.
+        """
+        incoming_token = incoming_key[0]
+        while len(self._snapshots) >= self.max_snapshots:
+            victim_key = next(iter(self._snapshots))
+            del self._snapshots[victim_key]
+            token = victim_key[0]
+            if token != incoming_token and not any(
+                key[0] == token for key in self._snapshots
+            ):
+                self._retained.pop(token, None)
+
+    def clear(self) -> None:
+        self._snapshots.clear()
+        self._retained.clear()
+
+
+#: Process-wide memo shared by every simulation entry point.
+_WARM_MEMO = WarmupMemo()
+
+
+def warm_memo_stats() -> Dict[str, int]:
+    """Replay/restore counters of the process-wide warmed-memory memo."""
+    return {"warm_replays": _WARM_MEMO.replays, "warm_restores": _WARM_MEMO.restores}
+
+
+def warm_memory_systems(memories: Sequence[CoreMemorySystem],
+                        entries: Sequence[DynamicInst],
+                        cycles_per_access: int = 2) -> None:
+    """Warm a group of freshly-built cores sharing one shared system.
+
+    The group warms in list order (order matters: earlier cores' misses
+    populate the shared L3 the later cores then hit).  With the memo enabled
+    the whole group's post-warm state — private levels and the shared system
+    — is snapshot/restored as a unit.
+    """
+    if not entries:
+        return
+    if warm_memo_enabled():
+        _WARM_MEMO.warm(tuple(memories), entries, cycles_per_access)
+    else:
+        for memory in memories:
+            _replay_warmup(memory, entries, cycles_per_access)
+
+
+def warm_memory_system(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
+                       cycles_per_access: int = 2) -> None:
+    """Warm one core's caches/TLB (memoized; see :class:`WarmupMemo`)."""
+    warm_memory_systems((memory,), entries, cycles_per_access)
 
 
 def build_single_core(config: SystemConfig, lookahead_mode: bool = False):

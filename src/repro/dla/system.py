@@ -161,10 +161,11 @@ class DlaSystem:
     # ------------------------------------------------------------------
     @staticmethod
     def _warm(state: "_State", warmup_entries: Sequence[DynamicInst]) -> None:
-        from repro.core.system import warm_memory_system
+        from repro.core.system import warm_memory_systems
 
-        warm_memory_system(state.mt_memory, warmup_entries)
-        warm_memory_system(state.lt_memory, warmup_entries)
+        # One group call: the two cores' post-warm state (including the
+        # shared L3/DRAM both warms touch) is memoized/restored as a unit.
+        warm_memory_systems((state.mt_memory, state.lt_memory), warmup_entries)
 
     @dataclass
     class _State:

@@ -29,13 +29,19 @@ Module                    Paper artefact
 from repro.experiments.cache import ResultDiskCache
 from repro.experiments.fingerprint import code_salt, fingerprint
 from repro.experiments.parallel import ParallelExperimentRunner, SimRequest
-from repro.experiments.runner import ExperimentRunner, RunnerStats, WorkloadSetup
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunnerStats,
+    SegmentedOutcome,
+    WorkloadSetup,
+)
 
 __all__ = [
     "ExperimentRunner",
     "ParallelExperimentRunner",
     "ResultDiskCache",
     "RunnerStats",
+    "SegmentedOutcome",
     "SimRequest",
     "WorkloadSetup",
     "code_salt",

@@ -18,8 +18,18 @@ BENCH_REPORT_NAME = "BENCH_sim_throughput.json"
 
 
 def repo_root() -> Path:
-    """The repository root (two levels above this package's parent)."""
-    return Path(__file__).resolve().parents[3]
+    """Where the throughput report lives.
+
+    For a source checkout / editable install this is the repository root
+    (three levels above this file: ``repo/src/repro/experiments``).  For a
+    site-packages install that directory is the interpreter's lib dir —
+    littering it would be wrong, so fall back to the current directory.
+    """
+    candidate = Path(__file__).resolve().parents[3]
+    markers = (".git", "pytest.ini", BENCH_REPORT_NAME)
+    if any((candidate / marker).exists() for marker in markers):
+        return candidate
+    return Path.cwd()
 
 
 def update_bench_report(section: str, payload: Dict[str, object],

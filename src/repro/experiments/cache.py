@@ -31,6 +31,17 @@ def disk_cache_enabled() -> bool:
     return os.environ.get(CACHE_ENABLE_ENV, "1") not in ("0", "false", "no")
 
 
+def salted_key(key: str) -> str:
+    """The on-disk form of a content ``key``: code-salt prefixed.
+
+    The single definition of the disk-key format — the runner's cache path
+    and the campaign store's status probes must stay in lockstep.
+    """
+    from repro.experiments.fingerprint import code_salt
+
+    return f"{code_salt()}-{key}"
+
+
 class ResultDiskCache:
     """A tiny content-addressed pickle store with atomic writes."""
 
@@ -44,6 +55,10 @@ class ResultDiskCache:
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        """Cheap presence probe (no unpickling; no hit/miss accounting)."""
+        return self._path(key).exists()
 
     def get(self, key: str) -> Optional[Any]:
         """The cached object for ``key`` or ``None``.

@@ -63,6 +63,31 @@ def run(runner: Optional[ExperimentRunner] = None,
     return Fig01Result(rows=rows, geomean_ratio=geomean_ratio)
 
 
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig01",
+    title="Fig. 1 — implicit parallelism, ideal vs real supply",
+    experiment=__name__,
+    description="Dataflow-limit IPC with 128/512/2048-instruction windows "
+                "under ideal and realistic instruction/data supply.",
+    tags=("paper", "analysis"),
+)
+
+
+def artifact_tables(result: Fig01Result) -> Dict[str, List[Dict[str, object]]]:
+    return {
+        "parallelism": result.rows,
+        "ratio_geomean": [
+            {"window": window, "ideal_over_real": result.geomean_ratio[window]}
+            for window in WINDOWS
+        ],
+    }
+
+
 def main() -> None:  # pragma: no cover - console entry point
     print(run().render())
 

@@ -32,25 +32,13 @@ class Fig05Result:
     bubble_curves: Dict[str, Dict[int, float]]
 
     def render(self) -> str:
+        tables = artifact_tables(self)
         lines = ["Fig. 5 — fetch buffer analytic model", ""]
         lines.append("(a) steady-state queue length distribution")
-        rows = []
-        length = max(len(d) for d in self.queue_distributions.values())
-        for i in range(length):
-            row = {"queue_length": i}
-            for label, dist in self.queue_distributions.items():
-                row[label] = dist[i] if i < len(dist) else 0.0
-            rows.append(row)
-        lines.append(format_table(rows))
+        lines.append(format_table(tables["queue_distribution"]))
         lines.append("")
         lines.append("(b) expected fetch bubbles vs capacity")
-        rows = []
-        for capacity in CAPACITIES:
-            row = {"capacity": capacity}
-            for label, curve in self.bubble_curves.items():
-                row[label] = curve[capacity]
-            rows.append(row)
-        lines.append(format_table(rows))
+        lines.append(format_table(tables["bubbles"]))
         return "\n".join(lines)
 
 
@@ -75,6 +63,39 @@ def run(runner: Optional[ExperimentRunner] = None,
         "trace_cache": trace_model.bubble_curve(CAPACITIES),
     }
     return Fig05Result(queue_distributions=queue_distributions, bubble_curves=bubble_curves)
+
+
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig05",
+    title="Fig. 5 — analytic fetch-buffer model",
+    experiment=__name__,
+    description="Markov-chain queue-length distributions and expected fetch "
+                "bubbles vs capacity (I-cache vs trace-cache supply).",
+    workloads=(DEFAULT_WORKLOAD,),
+    tags=("paper", "analysis"),
+)
+
+
+def artifact_tables(result: Fig05Result) -> Dict[str, List[Dict[str, object]]]:
+    length = max(len(d) for d in result.queue_distributions.values())
+    queue_rows: List[Dict[str, object]] = []
+    for i in range(length):
+        row: Dict[str, object] = {"queue_length": i}
+        for label, dist in result.queue_distributions.items():
+            row[label] = dist[i] if i < len(dist) else 0.0
+        queue_rows.append(row)
+    bubble_rows: List[Dict[str, object]] = []
+    for capacity in CAPACITIES:
+        row = {"capacity": capacity}
+        for label, curve in result.bubble_curves.items():
+            row[label] = curve[capacity]
+        bubble_rows.append(row)
+    return {"queue_distribution": queue_rows, "bubbles": bubble_rows}
 
 
 def main() -> None:  # pragma: no cover

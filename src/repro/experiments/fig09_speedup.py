@@ -63,12 +63,16 @@ def run(runner: Optional[ExperimentRunner] = None,
         table.record("R3-DLA", setup.name, ref_cycles / r3.cycles, setup.suite)
 
         if include_related:
-            bfetch = simulate_bfetch(setup.timed, runner.system_config,
-                                     warmup_entries=setup.warmup)
-            slip = simulate_slipstream(setup.program, setup.timed, setup.profile,
-                                       runner.system_config, warmup_entries=setup.warmup)
-            cre = simulate_cre(setup.program, setup.timed, setup.profile,
-                               runner.system_config, warmup_entries=setup.warmup)
+            # Related approaches go through the runner's auxiliary cache so
+            # campaign reruns and resumes skip them like every other cell.
+            bfetch = runner.auxiliary(setup, "bfetch", lambda s=setup: simulate_bfetch(
+                s.timed, runner.system_config, warmup_entries=s.warmup))
+            slip = runner.auxiliary(setup, "slipstream", lambda s=setup: simulate_slipstream(
+                s.program, s.timed, s.profile, runner.system_config,
+                warmup_entries=s.warmup))
+            cre = runner.auxiliary(setup, "cre", lambda s=setup: simulate_cre(
+                s.program, s.timed, s.profile, runner.system_config,
+                warmup_entries=s.warmup))
             related.record("B-Fetch", setup.name, ref_cycles / bfetch.cycles, setup.suite)
             related.record("S-Stream", setup.name, ref_cycles / slip.cycles, setup.suite)
             related.record("CRE", setup.name, ref_cycles / cre.cycles, setup.suite)
@@ -76,6 +80,36 @@ def run(runner: Optional[ExperimentRunner] = None,
             related.record("R3-DLA", setup.name, ref_cycles / r3.cycles, setup.suite)
 
     return Fig09Result(table=table, related=related)
+
+
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig09",
+    title="Fig. 9 — overall performance of DLA and R3-DLA",
+    experiment=__name__,
+    description="Speedup of {BL, DLA, R3-DLA} x {BOP, noPF} over the "
+                "baseline-with-BOP, plus related approaches.",
+    variants=variants(
+        dict(name="bl", kind="baseline"),
+        dict(name="bl-nopf", kind="baseline", prefetch="none"),
+        dict(name="dla", kind="dla", dla_preset="dla"),
+        dict(name="dla-nopf", kind="dla", dla_preset="dla", prefetch="none"),
+        dict(name="r3", kind="dla", dla_preset="r3"),
+        dict(name="r3-nopf", kind="dla", dla_preset="r3", prefetch="none"),
+    ),
+    tags=("paper", "headline"),
+)
+
+
+def artifact_tables(result: Fig09Result) -> Dict[str, List[Dict[str, object]]]:
+    return {
+        "speedup": result.table.summary_rows(list(SUITES)),
+        "related": result.related.summary_rows([]),
+    }
 
 
 def main() -> None:  # pragma: no cover

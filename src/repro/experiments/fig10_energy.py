@@ -60,6 +60,34 @@ def run(runner: Optional[ExperimentRunner] = None) -> Fig10Result:
     return Fig10Result(rows=rows, per_workload=per_workload)
 
 
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig10",
+    title="Fig. 10 — CPU and DRAM energy normalised to baseline",
+    experiment=__name__,
+    description="Two-thread CPU energy overhead and DRAM energy savings of "
+                "DLA and R3-DLA.",
+    variants=variants(
+        dict(name="bl", kind="baseline"),
+        dict(name="dla", kind="dla", dla_preset="dla"),
+        dict(name="r3", kind="dla", dla_preset="r3"),
+    ),
+    tags=("paper", "energy"),
+)
+
+
+def artifact_tables(result: Fig10Result) -> Dict[str, List[Dict[str, object]]]:
+    per_workload = [
+        {"workload": name, **values}
+        for name, values in result.per_workload.items()
+    ]
+    return {"energy_summary": result.rows, "energy_per_workload": per_workload}
+
+
 def main() -> None:  # pragma: no cover
     print(run().render())
 

@@ -63,6 +63,30 @@ def run(runner: Optional[ExperimentRunner] = None,
     return Fig11Result(per_workload=per_workload, geomean=geomean)
 
 
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig11",
+    title="Fig. 11 — R3-DLA on a wide SMT core",
+    experiment=__name__,
+    description="Full-core, DLA/R3-DLA across two half-cores, and two-copy "
+                "SMT throughput, normalised to a single half-core.",
+    tags=("paper", "smt"),
+)
+
+
+def artifact_tables(result: Fig11Result) -> Dict[str, List[Dict[str, object]]]:
+    throughput = [
+        {"workload": name, **values}
+        for name, values in result.per_workload.items()
+    ]
+    geomean = [{"mode": mode, "value": value} for mode, value in result.geomean.items()]
+    return {"throughput": throughput, "geomean": geomean}
+
+
 def main() -> None:  # pragma: no cover
     print(run().render())
 

@@ -55,6 +55,33 @@ def run(runner: Optional[ExperimentRunner] = None) -> Fig12Result:
     return Fig12Result(speedup=speedup, traffic=traffic)
 
 
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig12",
+    title="Fig. 12 — offloading strided prefetch: DLA+stride vs DLA+T1",
+    experiment=__name__,
+    description="Speedup over plain DLA and memory traffic of an L1 stride "
+                "prefetcher vs the T1 offload engine.",
+    variants=variants(
+        dict(name="dla", kind="dla", dla_preset="dla"),
+        dict(name="dla-stride", kind="dla", dla_preset="dla", prefetch="l1stride"),
+        dict(name="dla-t1", kind="dla", dla_optimizations={"t1": True}),
+    ),
+    tags=("paper", "prefetch"),
+)
+
+
+def artifact_tables(result: Fig12Result) -> Dict[str, List[Dict[str, object]]]:
+    return {
+        "speedup": result.speedup.summary_rows(list(SUITES)),
+        "traffic": result.traffic.summary_rows(list(SUITES)),
+    }
+
+
 def main() -> None:  # pragma: no cover
     print(run().render())
 

@@ -18,8 +18,6 @@ from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.dla.config import DlaConfig
-from repro.dla.recycle import RecycleController, build_skeleton_versions
-from repro.dla.system import DlaSystem
 from repro.experiments.runner import ExperimentRunner
 from repro.util.stats_math import geometric_mean
 
@@ -67,12 +65,9 @@ def _recycle_study(runner: ExperimentRunner) -> List[Dict[str, object]]:
         base = runner.dla(setup, DlaConfig().with_optimizations(t1=True, value_reuse=True,
                                                                 fetch_buffer=True), "r3-no-recycle")
         config = DlaConfig().r3()
-        system = DlaSystem(setup.program, runner.system_config, config, profile=setup.profile)
-        versions = build_skeleton_versions(system.builder, enable_t1=True)
-        controller = RecycleController(versions, config, setup.profile.loop_branch_pcs)
-        for dynamic, sink in ((False, static_gains), (True, dynamic_gains)):
-            plan = controller.plan(system, setup.timed, dynamic=dynamic)
-            outcome = system.simulate_segmented(plan.segments, warmup_entries=setup.warmup)
+        for dynamic, sink, label in ((False, static_gains, "recycle-static"),
+                                     (True, dynamic_gains, "recycle-dynamic")):
+            outcome = runner.dla_segmented(setup, config, dynamic=dynamic, label=label)
             sink.append(base.cycles / outcome.cycles)
     return [
         {"configuration": "Dynamic", "geomean": geometric_mean(dynamic_gains),
@@ -125,6 +120,50 @@ def run(runner: Optional[ExperimentRunner] = None,
         recycle_rows=recycle_rows,
         synergy_rows=synergy_rows,
     )
+
+
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig13",
+    title="Fig. 13 — individual optimizations and their synergy",
+    experiment=__name__,
+    description="Fetch buffer over BL vs DLA, dynamic vs static recycle "
+                "tuning, and each technique applied first vs last.",
+    variants=variants(
+        dict(name="bl", kind="baseline"),
+        dict(name="bl-fb32", kind="baseline",
+             core_overrides={"fetch_buffer_entries": 32}),
+        dict(name="dla", kind="dla", dla_preset="dla"),
+        dict(name="dla-fb", kind="dla", dla_optimizations={"fetch_buffer": True}),
+        dict(name="dla-t1", kind="dla", dla_optimizations={"t1": True}),
+        dict(name="dla-vr", kind="dla", dla_optimizations={"value_reuse": True}),
+        dict(name="dla-t1-vr", kind="dla",
+             dla_optimizations={"t1": True, "value_reuse": True}),
+        dict(name="dla-t1-fb", kind="dla",
+             dla_optimizations={"t1": True, "fetch_buffer": True}),
+        dict(name="dla-vr-fb", kind="dla",
+             dla_optimizations={"value_reuse": True, "fetch_buffer": True}),
+        dict(name="r3-no-recycle", kind="dla",
+             dla_optimizations={"t1": True, "value_reuse": True,
+                                "fetch_buffer": True}),
+        dict(name="recycle-static", kind="segmented", dla_preset="r3"),
+        dict(name="recycle-dynamic", kind="segmented", dla_preset="r3",
+             dynamic=True),
+    ),
+    tags=("paper", "ablation", "recycle"),
+)
+
+
+def artifact_tables(result: Fig13Result) -> Dict[str, List[Dict[str, object]]]:
+    return {
+        "fetch_buffer": result.fetch_buffer_rows,
+        "recycle": result.recycle_rows,
+        "synergy": result.synergy_rows,
+    }
 
 
 def main() -> None:  # pragma: no cover

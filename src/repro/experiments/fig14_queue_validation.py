@@ -30,14 +30,7 @@ class Fig14Result:
     mean_absolute_error: float
 
     def render(self) -> str:
-        rows = [
-            {
-                "queue_length": i,
-                "theoretical": self.theoretical[i],
-                "simulated": self.simulated[i],
-            }
-            for i in range(len(self.theoretical))
-        ]
+        rows = artifact_tables(self)["queue_distribution"]
         return (
             "Fig. 14 — queue-length distribution, model vs simulation\n\n"
             + format_table(rows)
@@ -62,6 +55,41 @@ def run(runner: Optional[ExperimentRunner] = None,
     error = sum(abs(t - s) for t, s in zip(theoretical, simulated)) / (capacity + 1)
     return Fig14Result(theoretical=theoretical, simulated=simulated,
                        mean_absolute_error=error)
+
+
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig14",
+    title="Fig. 14 — fetch-buffer queue model vs simulation",
+    experiment=__name__,
+    description="Markov-chain queue-length distribution validated against "
+                "the timing model's occupancy histogram.",
+    workloads=(DEFAULT_WORKLOAD,),
+    variants=variants(
+        dict(name="bl-fb32", kind="baseline",
+             core_overrides={"fetch_buffer_entries": CAPACITY}),
+    ),
+    tags=("paper", "validation"),
+)
+
+
+def artifact_tables(result: Fig14Result) -> Dict[str, List[Dict[str, object]]]:
+    distribution = [
+        {
+            "queue_length": i,
+            "theoretical": result.theoretical[i],
+            "simulated": result.simulated[i],
+        }
+        for i in range(len(result.theoretical))
+    ]
+    return {
+        "queue_distribution": distribution,
+        "summary": [{"mean_absolute_error": result.mean_absolute_error}],
+    }
 
 
 def main() -> None:  # pragma: no cover

@@ -14,8 +14,6 @@ from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.dla.config import DlaConfig
-from repro.dla.recycle import RecycleController, build_skeleton_versions
-from repro.dla.system import DlaSystem
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -26,12 +24,7 @@ class Fig15Result:
     version_names: List[str]
 
     def render(self) -> str:
-        rows = []
-        for workload, dist in self.distributions.items():
-            row: Dict[str, object] = {"workload": workload}
-            for name in self.version_names:
-                row[name] = dist.get(name, 0.0)
-            rows.append(row)
+        rows = artifact_tables(self)["version_distribution"]
         return (
             "Fig. 15 — distribution of skeleton versions chosen during tuning\n\n"
             + format_table(rows)
@@ -48,17 +41,44 @@ def run(runner: Optional[ExperimentRunner] = None,
     version_names: List[str] = []
     config = DlaConfig().r3()
     for setup in setups[:max_workloads]:
-        system = DlaSystem(setup.program, runner.system_config, config,
-                           profile=setup.profile)
-        versions = build_skeleton_versions(system.builder, enable_t1=True)
-        version_names = [skeleton.options.name for skeleton in versions]
-        controller = RecycleController(versions, config, setup.profile.loop_branch_pcs)
-        plan = controller.plan(system, setup.timed, dynamic=True)
+        segmented = runner.dla_segmented(setup, config, dynamic=True,
+                                         label="recycle-dynamic")
+        version_names = list(segmented.version_names)
         distributions[setup.name] = {
             version_names[index]: fraction
-            for index, fraction in plan.version_distribution.items()
+            for index, fraction in segmented.version_distribution.items()
         }
     return Fig15Result(distributions=distributions, version_names=version_names)
+
+
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="fig15",
+    title="Fig. 15 — distribution of skeleton versions chosen",
+    experiment=__name__,
+    description="Per-workload fraction of execution run under each skeleton "
+                "version during dynamic recycle tuning.",
+    variants=variants(
+        dict(name="recycle-dynamic", kind="segmented", dla_preset="r3",
+             dynamic=True),
+    ),
+    max_cell_workloads_quick=5,
+    tags=("paper", "recycle"),
+)
+
+
+def artifact_tables(result: Fig15Result) -> Dict[str, List[Dict[str, object]]]:
+    rows: List[Dict[str, object]] = []
+    for workload, dist in result.distributions.items():
+        row: Dict[str, object] = {"workload": workload}
+        for name in result.version_names:
+            row[name] = dist.get(name, 0.0)
+        rows.append(row)
+    return {"version_distribution": rows}
 
 
 def main() -> None:  # pragma: no cover

@@ -37,16 +37,22 @@ class SimRequest:
     """One independent simulation of the standard experiment matrix."""
 
     workload: str
-    kind: str                                    # "baseline" | "dla"
+    kind: str                                    # "baseline" | "dla" | "segmented"
     label: str = ""
     system_config: Optional[SystemConfig] = None  # None -> runner default
     dla_config: Optional[DlaConfig] = None
+    #: Segmented requests only: on-line (dynamic) vs off-line recycle tuning.
+    dynamic: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind not in ("baseline", "dla"):
+        if self.kind not in ("baseline", "dla", "segmented"):
             raise ValueError(f"unknown request kind {self.kind!r}")
-        if self.kind == "dla" and self.dla_config is None:
-            raise ValueError("dla requests need a dla_config")
+        if self.kind in ("dla", "segmented") and self.dla_config is None:
+            raise ValueError(f"{self.kind} requests need a dla_config")
+        if self.kind != "segmented" and self.dynamic:
+            # dynamic is not part of the baseline/dla cache keys; accepting
+            # it would silently alias with the dynamic=False request.
+            raise ValueError("dynamic tuning is a segmented-only knob")
 
 
 # ---------------------------------------------------------------------------
@@ -74,12 +80,15 @@ def _worker_runner(ctor_kwargs: dict) -> ExperimentRunner:
 
 def _run_group(payload: Tuple[dict, str, List[SimRequest]]):
     """Execute every request of one workload group in a worker process."""
+    from repro.core.system import warm_memo_stats
+
     ctor_kwargs, workload, requests = payload
     runner = _worker_runner(ctor_kwargs)
     # The runner (and its stats) persists across the groups this worker
     # serves; report only this group's delta or the parent's merge would
     # prefix-sum-overcount every earlier group.
     stats_before = runner.stats.copy()
+    warm_before = warm_memo_stats()
     setup = runner.setup(workload)
     results = []
     for request in requests:
@@ -88,13 +97,24 @@ def _run_group(payload: Tuple[dict, str, List[SimRequest]]):
             outcome = strip_outcome(
                 runner.baseline(setup, request.label or "bl", request.system_config)
             )
+        elif request.kind == "segmented":
+            key = runner.segmented_key(setup, request.dla_config, request.dynamic,
+                                       request.system_config)
+            outcome = runner.dla_segmented(
+                setup, request.dla_config, request.dynamic,
+                request.label or "recycle", request.system_config
+            )
         else:
             key = runner.dla_key(setup, request.dla_config, request.system_config)
             outcome = runner.dla(
                 setup, request.dla_config, request.label or "dla", request.system_config
             )
         results.append((request.kind, key, outcome))
-    return workload, results, runner.stats.since(stats_before)
+    warm_delta = {
+        name: value - warm_before[name]
+        for name, value in warm_memo_stats().items()
+    }
+    return workload, results, runner.stats.since(stats_before), warm_delta
 
 
 class ParallelExperimentRunner(ExperimentRunner):
@@ -112,6 +132,18 @@ class ParallelExperimentRunner(ExperimentRunner):
             env = os.environ.get(PROCESSES_ENV, "")
             processes = int(env) if env.isdigit() and int(env) > 0 else None
         self.processes = processes
+        #: Warm-memo counters accumulated from worker processes (each worker
+        #: has its own process-wide memo; see warm_memo_totals()).
+        self._worker_warm: Dict[str, int] = {"warm_replays": 0, "warm_restores": 0}
+
+    def warm_memo_totals(self) -> Dict[str, int]:
+        """Warm-memo replay/restore counts across this process and workers."""
+        from repro.core.system import warm_memo_stats
+
+        totals = dict(warm_memo_stats())
+        for name, value in self._worker_warm.items():
+            totals[name] = totals.get(name, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     def _ctor_kwargs(self) -> dict:
@@ -181,6 +213,10 @@ class ParallelExperimentRunner(ExperimentRunner):
                     setup = self.setup(request.workload)
                     if request.kind == "baseline":
                         self.baseline(setup, request.label or "bl", request.system_config)
+                    elif request.kind == "segmented":
+                        self.dla_segmented(setup, request.dla_config, request.dynamic,
+                                           request.label or "recycle",
+                                           request.system_config)
                     else:
                         self.dla(setup, request.dla_config, request.label or "dla",
                                  request.system_config)
@@ -199,12 +235,21 @@ class ParallelExperimentRunner(ExperimentRunner):
         return self.stats.simulations - simulations_before
 
     # ------------------------------------------------------------------
+    def request_key(self, request: SimRequest) -> str:
+        """Public content key of a request (used by the campaign scheduler)."""
+        return self._request_key(request)
+
     def _request_key(self, request: SimRequest) -> str:
         """Content key of a request — no trace/profile building required."""
         from repro.workloads.suites import get_workload
 
+        workload = get_workload(request.workload)
+        if request.kind == "segmented":
+            return self.segmented_key_for(
+                workload, request.dla_config, request.dynamic, request.system_config
+            )
         return self.workload_key(
-            get_workload(request.workload), request.kind,
+            workload, request.kind,
             request.system_config, request.dla_config,
         )
 
@@ -217,35 +262,34 @@ class ParallelExperimentRunner(ExperimentRunner):
         groups: Dict[str, List[SimRequest]] = {}
         for request in requests:
             key = self._request_key(request)
-            if request.kind == "baseline":
-                if self.has_baseline(key):
+            has, inject = self._cache_ops(request.kind)
+            if has(key):
+                continue
+            if self.disk_cache is not None:
+                stored = self.disk_cache.get(self._disk_key(key))
+                if stored is not None:
+                    self.stats.disk_hits += 1
+                    inject(key, stored, persist=False)
                     continue
-                if self.disk_cache is not None:
-                    stored = self.disk_cache.get(self._disk_key(key))
-                    if stored is not None:
-                        self.stats.disk_hits += 1
-                        self.inject_baseline(key, stored, persist=False)
-                        continue
-            else:
-                if self.has_dla(key):
-                    continue
-                if self.disk_cache is not None:
-                    stored = self.disk_cache.get(self._disk_key(key))
-                    if stored is not None:
-                        self.stats.disk_hits += 1
-                        self.inject_dla(key, stored, persist=False)
-                        continue
             groups.setdefault(request.workload, []).append(request)
         return list(groups.items())
 
+    def _cache_ops(self, kind: str):
+        """(has, inject) cache accessors for one request kind."""
+        if kind == "baseline":
+            return self.has_baseline, self.inject_baseline
+        if kind == "segmented":
+            return self.has_segmented, self.inject_segmented
+        return self.has_dla, self.inject_dla
+
     def _merge_group(self, result) -> None:
-        _workload, outcomes, worker_stats = result
+        _workload, outcomes, worker_stats, warm_delta = result
         # Workers share this runner's disk-cache setting (see _ctor_kwargs):
         # if the disk cache is on, every fresh outcome was already persisted
         # by the worker that computed it — don't pickle it all again here.
         for kind, key, outcome in outcomes:
-            if kind == "baseline":
-                self.inject_baseline(key, outcome, persist=False)
-            else:
-                self.inject_dla(key, outcome, persist=False)
+            _has, inject = self._cache_ops(kind)
+            inject(key, outcome, persist=False)
         self.stats.merge(worker_stats)
+        for name, value in warm_delta.items():
+            self._worker_warm[name] = self._worker_warm.get(name, 0) + value

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.system import SimulationOutcome, simulate_baseline
@@ -30,8 +30,8 @@ from repro.dla.config import DlaConfig
 from repro.dla.profiling import ProgramProfile, profile_workload
 from repro.dla.system import DlaOutcome, DlaSystem
 from repro.emulator.trace import DynamicInst
-from repro.experiments.cache import ResultDiskCache, disk_cache_enabled
-from repro.experiments.fingerprint import code_salt, fingerprint
+from repro.experiments.cache import ResultDiskCache, disk_cache_enabled, salted_key
+from repro.experiments.fingerprint import fingerprint
 from repro.isa.program import Program
 from repro.workloads.suites import Workload, all_workloads, get_workload
 
@@ -62,6 +62,28 @@ class WorkloadSetup:
     @property
     def suite(self) -> str:
         return self.workload.suite
+
+
+@dataclass
+class SegmentedOutcome:
+    """Result of one segmented (skeleton-recycling) DLA simulation.
+
+    Bundles the :class:`~repro.dla.system.DlaOutcome` with the recycle plan
+    summary Fig. 15 needs, so one cached object serves both Fig. 13-b and
+    Fig. 15 without re-planning.
+    """
+
+    outcome: DlaOutcome
+    #: Skeleton version names, in :func:`build_skeleton_versions` order.
+    version_names: Tuple[str, ...]
+    #: Chosen version index per loop unit, in execution order.
+    chosen_versions: Tuple[int, ...]
+    #: Instruction-weighted distribution over version indices (sums to 1).
+    version_distribution: Dict[int, float]
+
+    @property
+    def cycles(self) -> float:
+        return self.outcome.cycles
 
 
 @dataclass
@@ -157,6 +179,8 @@ class ExperimentRunner:
         self._setups: Dict[str, WorkloadSetup] = {}
         self._baseline_cache: Dict[str, SimulationOutcome] = {}
         self._dla_cache: Dict[str, DlaOutcome] = {}
+        self._segmented_cache: Dict[str, SegmentedOutcome] = {}
+        self._aux_cache: Dict[str, SimulationOutcome] = {}
         #: Cosmetic label -> fingerprint key of the last request made under
         #: that label (debugging / reporting only; never used for lookup).
         self.label_keys: Dict[str, str] = {}
@@ -199,8 +223,33 @@ class ExperimentRunner:
         """Content key of one DLA co-simulation request."""
         return self.workload_key(setup.workload, "dla", config, dla_config)
 
+    def segmented_key_for(self, workload: Workload, dla_config: DlaConfig,
+                          dynamic: bool,
+                          config: Optional[SystemConfig] = None) -> str:
+        """Content key of one segmented (recycle) simulation request.
+
+        The recycle plan is fully determined by the workload, the profile
+        (built from the runner's base config), the DLA configuration, the
+        trace window and the tuning mode — so those are the key.
+        """
+        parts = [
+            "segmented",
+            workload,
+            (self.warmup_instructions, self.timed_instructions),
+            fingerprint(config or self.system_config),
+            fingerprint(self.system_config),   # training-profile source
+            dla_config,
+            bool(dynamic),
+        ]
+        return fingerprint(*parts)
+
+    def segmented_key(self, setup: WorkloadSetup, dla_config: DlaConfig,
+                      dynamic: bool,
+                      config: Optional[SystemConfig] = None) -> str:
+        return self.segmented_key_for(setup.workload, dla_config, dynamic, config)
+
     def _disk_key(self, key: str) -> str:
-        return f"{code_salt()}-{key}"
+        return salted_key(key)
 
     # ------------------------------------------------------------------
     # setups
@@ -299,6 +348,99 @@ class ExperimentRunner:
             self.disk_cache.put(self._disk_key(key), outcome)
         return outcome
 
+    def dla_segmented(self, setup: WorkloadSetup, dla_config: DlaConfig,
+                      dynamic: bool = False, label: str = "recycle",
+                      config: Optional[SystemConfig] = None) -> SegmentedOutcome:
+        """Segmented (skeleton-recycling) DLA simulation, cached by content key.
+
+        Replaces the figures' direct ``DlaSystem.simulate_segmented`` calls:
+        planning (including the controller's trial simulations) and the
+        segmented run itself happen at most once per (workload, config,
+        window, tuning mode) per cache lifetime.
+        """
+        key = self.segmented_key(setup, dla_config, dynamic, config)
+        self.label_keys[label] = key
+        cached = self._segmented_cache.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(self._disk_key(key))
+            if stored is not None:
+                self.stats.disk_hits += 1
+                self._segmented_cache[key] = stored
+                return stored
+        from repro.dla.recycle import RecycleController, build_skeleton_versions
+
+        started = time.perf_counter()
+        system = DlaSystem(
+            setup.program,
+            config or self.system_config,
+            dla_config,
+            profile=setup.profile,
+        )
+        versions = build_skeleton_versions(
+            system.builder,
+            enable_t1=dla_config.enable_t1,
+            include_value_targets=dla_config.enable_value_reuse,
+        )
+        controller = RecycleController(versions, dla_config,
+                                       setup.profile.loop_branch_pcs)
+        plan = controller.plan(system, setup.timed, dynamic=dynamic)
+        outcome = system.simulate_segmented(plan.segments,
+                                            warmup_entries=setup.warmup)
+        result = SegmentedOutcome(
+            outcome=outcome,
+            version_names=tuple(s.options.name for s in versions),
+            chosen_versions=tuple(plan.chosen_versions),
+            version_distribution=dict(plan.version_distribution),
+        )
+        self._record_simulation(
+            started, outcome.main.committed + outcome.lookahead.committed
+        )
+        self._segmented_cache[key] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), result)
+        return result
+
+    def auxiliary(self, setup: WorkloadSetup, kind: str, simulate,
+                  config: Optional[SystemConfig] = None):
+        """Cache a non-standard simulation by content key.
+
+        ``kind`` names the model (e.g. ``"bfetch"``, ``"slipstream"``); the
+        key covers the workload, window and system config exactly like the
+        baseline/DLA entry points, so related-approach comparisons resume
+        from the disk cache instead of re-simulating on every campaign run.
+        ``simulate`` is only called on a miss, must be deterministic, and
+        may return a :class:`SimulationOutcome` or a
+        :class:`~repro.dla.system.DlaOutcome`-shaped object.
+        """
+        key = self.workload_key(setup.workload, f"aux-{kind}", config)
+        self.label_keys[kind] = key
+        cached = self._aux_cache.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(self._disk_key(key))
+            if stored is not None:
+                self.stats.disk_hits += 1
+                self._aux_cache[key] = stored
+                return stored
+        started = time.perf_counter()
+        outcome = simulate()
+        if isinstance(outcome, SimulationOutcome):
+            committed = outcome.core.committed
+            payload = strip_outcome(outcome)
+        else:   # DlaOutcome-shaped (two-thread comparison models)
+            committed = outcome.main.committed + outcome.lookahead.committed
+            payload = outcome
+        self._record_simulation(started, committed)
+        self._aux_cache[key] = outcome
+        if self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), payload)
+        return outcome
+
     def _record_simulation(self, started: float, committed: int) -> None:
         self.stats.simulations += 1
         self.stats.simulated_instructions += int(committed)
@@ -325,30 +467,29 @@ class ExperimentRunner:
         if persist and self.disk_cache is not None:
             self.disk_cache.put(self._disk_key(key), outcome)
 
+    def inject_segmented(self, key: str, outcome: SegmentedOutcome,
+                         persist: bool = True) -> None:
+        self._segmented_cache.setdefault(key, outcome)
+        if persist and self.disk_cache is not None:
+            self.disk_cache.put(self._disk_key(key), outcome)
+
     def has_baseline(self, key: str) -> bool:
         return key in self._baseline_cache
 
     def has_dla(self, key: str) -> bool:
         return key in self._dla_cache
 
+    def has_segmented(self, key: str) -> bool:
+        return key in self._segmented_cache
+
     # ------------------------------------------------------------------
     def no_prefetch_config(self) -> SystemConfig:
         """The configured system with every hardware prefetcher disabled."""
-        return SystemConfig(
-            core=self.system_config.core,
-            memory=self.system_config.memory,
-            l2_prefetcher="none",
-            l1_prefetcher="none",
-        )
+        return self.system_config.without_prefetchers()
 
     def with_l1_stride_config(self) -> SystemConfig:
         """The configured system with an added L1 stride prefetcher."""
-        return SystemConfig(
-            core=self.system_config.core,
-            memory=self.system_config.memory,
-            l2_prefetcher=self.system_config.l2_prefetcher,
-            l1_prefetcher="stride",
-        )
+        return self.system_config.with_l1_stride()
 
 
 def strip_outcome(outcome: SimulationOutcome) -> SimulationOutcome:

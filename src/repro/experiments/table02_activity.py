@@ -76,6 +76,30 @@ def run(runner: Optional[ExperimentRunner] = None) -> Table02Result:
     return Table02Result(rows=rows)
 
 
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="table02",
+    title="Table II — activity, energy and power of the two threads",
+    experiment=__name__,
+    description="Decode/execute/commit activity and power of the look-ahead "
+                "and main threads, normalised to the baseline core.",
+    variants=variants(
+        dict(name="bl", kind="baseline"),
+        dict(name="dla", kind="dla", dla_preset="dla"),
+        dict(name="r3", kind="dla", dla_preset="r3"),
+    ),
+    tags=("paper", "energy"),
+)
+
+
+def artifact_tables(result: Table02Result) -> Dict[str, List[Dict[str, object]]]:
+    return {"activity": result.rows}
+
+
 def main() -> None:  # pragma: no cover
     print(run().render())
 

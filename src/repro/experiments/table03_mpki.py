@@ -40,12 +40,10 @@ def _split_l1_misses(setup: WorkloadSetup, runner: ExperimentRunner, config,
         result = core.run(setup.timed, hooks=hooks)
         counters["committed"] = result.committed
     else:
-        # For DLA configurations we observe the *main thread's* misses.
-        from repro.dla.hints import MainThreadHintSource  # local import to avoid cycles
-        from repro.dla.system import DlaSystem
-
-        system = DlaSystem(setup.program, config, dla_config, profile=setup.profile)
-        outcome = system.simulate(setup.timed, warmup_entries=setup.warmup)
+        # For DLA configurations we observe the *main thread's* misses.  The
+        # simulation goes through the runner so it shares the fingerprint
+        # cache with every other figure requesting the same configuration.
+        outcome = runner.dla(setup, dla_config, "table03-dla", config)
         # Re-derive the split by replaying the main thread's misses: the
         # outcome already counts total misses; strided share follows the
         # baseline proportions scaled by the observed reduction.
@@ -117,6 +115,33 @@ def run(runner: Optional[ExperimentRunner] = None,
                 }
             )
     return Table03Result(rows=rows, per_workload=per_workload)
+
+
+# ---------------------------------------------------------------------------
+# campaign registration (see repro.campaign)
+# ---------------------------------------------------------------------------
+from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
+
+CAMPAIGN = CampaignSpec(
+    name="table03",
+    title="Table III — strided vs non-strided L1 MPKI",
+    experiment=__name__,
+    description="L1 load MPKI split by strided/other access PCs for BL, "
+                "BL+stride, DLA and DLA+T1.",
+    variants=variants(
+        dict(name="dla", kind="dla", dla_preset="dla"),
+        dict(name="dla-t1", kind="dla", dla_optimizations={"t1": True}),
+    ),
+    tags=("paper", "mpki"),
+)
+
+
+def artifact_tables(result: Table03Result) -> Dict[str, List[Dict[str, object]]]:
+    per_workload: List[Dict[str, object]] = []
+    for workload, configs in result.per_workload.items():
+        for config, metrics in configs.items():
+            per_workload.append({"workload": workload, "config": config, **metrics})
+    return {"mpki_summary": result.rows, "mpki_per_workload": per_workload}
 
 
 def main() -> None:  # pragma: no cover

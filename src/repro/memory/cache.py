@@ -180,6 +180,32 @@ class Cache:
         """Drop every line (used when rebooting the look-ahead thread core)."""
         self._sets = [dict() for _ in range(self.config.num_sets)]
 
+    # -- state snapshot (warm-memory memoization) --------------------------
+    def snapshot_state(self) -> Tuple[list, dict]:
+        """An immutable-by-convention copy of all mutable cache state.
+
+        Used by the warmed-memory memo (:mod:`repro.core.system`): the state
+        captured after replaying a warmup window once can be restored into a
+        freshly-built cache of the same geometry instead of replaying again.
+        """
+        sets = [
+            {tag: (line.tag, line.fill_time, line.last_use, line.dirty,
+                   line.from_prefetch, line.prefetch_used)
+             for tag, line in cache_set.items()}
+            for cache_set in self._sets
+        ]
+        return sets, dict(vars(self.stats))
+
+    def restore_state(self, snapshot: Tuple[list, dict]) -> None:
+        """Restore state captured by :meth:`snapshot_state` (same geometry)."""
+        sets, stats = snapshot
+        self._sets = [
+            {tag: _Line(*fields) for tag, fields in cache_set.items()}
+            for cache_set in sets
+        ]
+        for name, value in stats.items():
+            setattr(self.stats, name, value)
+
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""

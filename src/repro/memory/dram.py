@@ -101,6 +101,25 @@ class DramModel:
         self._last_access_cycle = max(self._last_access_cycle, finish)
         return finish
 
+    # -- state snapshot (warm-memory memoization) --------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            dict(self._open_rows),
+            dict(self._bank_ready),
+            self._dynamic_energy,
+            self._last_access_cycle,
+            dict(vars(self.stats)),
+        )
+
+    def restore_state(self, snapshot: tuple) -> None:
+        open_rows, bank_ready, dynamic_energy, last_access, stats = snapshot
+        self._open_rows = dict(open_rows)
+        self._bank_ready = dict(bank_ready)
+        self._dynamic_energy = dynamic_energy
+        self._last_access_cycle = last_access
+        for name, value in stats.items():
+            setattr(self.stats, name, value)
+
     # ------------------------------------------------------------------
     def energy(self, elapsed_cycles: int) -> float:
         """Total DRAM energy over ``elapsed_cycles`` of execution."""

@@ -76,6 +76,15 @@ class SharedMemorySystem:
         self.l3.fill(address, dram_ready, from_prefetch=True)
         return dram_ready
 
+    # -- state snapshot (warm-memory memoization) --------------------------
+    def snapshot_state(self) -> tuple:
+        return self.l3.snapshot_state(), self.dram.snapshot_state()
+
+    def restore_state(self, snapshot: tuple) -> None:
+        l3_state, dram_state = snapshot
+        self.l3.restore_state(l3_state)
+        self.dram.restore_state(dram_state)
+
     @property
     def traffic(self) -> int:
         """Total DRAM transfers (the memory-traffic metric of Fig. 12b)."""
@@ -185,6 +194,24 @@ class CoreMemorySystem:
 
     def prefill_tlb(self, address: int, now: int) -> None:
         self.tlb.prefill(address, now)
+
+    # -- state snapshot (warm-memory memoization) --------------------------
+    def snapshot_state(self) -> tuple:
+        """Mutable state of the private levels (the shared system snapshots
+        separately so one snapshot can cover a multi-core warm group)."""
+        return (
+            self.l1i.snapshot_state(),
+            self.l1d.snapshot_state(),
+            self.l2.snapshot_state(),
+            self.tlb.snapshot_state(),
+        )
+
+    def restore_state(self, snapshot: tuple) -> None:
+        l1i_state, l1d_state, l2_state, tlb_state = snapshot
+        self.l1i.restore_state(l1i_state)
+        self.l1d.restore_state(l1d_state)
+        self.l2.restore_state(l2_state)
+        self.tlb.restore_state(tlb_state)
 
     # ------------------------------------------------------------------
     def l1d_misses(self) -> int:

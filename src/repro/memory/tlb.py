@@ -73,3 +73,13 @@ class Tlb:
 
     def flush(self) -> None:
         self._entries.clear()
+
+    # -- state snapshot (warm-memory memoization) --------------------------
+    def snapshot_state(self) -> tuple:
+        return dict(self._entries), dict(vars(self.stats))
+
+    def restore_state(self, snapshot: tuple) -> None:
+        entries, stats = snapshot
+        self._entries = dict(entries)
+        for name, value in stats.items():
+            setattr(self.stats, name, value)

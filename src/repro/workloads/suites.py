@@ -179,9 +179,42 @@ _BY_NAME: Dict[str, Workload] = {
 }
 
 
+#: Named scenario sweeps beyond the paper's suite partitioning: behavioural
+#: groupings (shared memory/branch character) that campaigns reference as
+#: ``scenario:<name>`` to sweep a configuration across one axis of behaviour
+#: without enumerating workloads by hand.
+SCENARIOS: Dict[str, List[str]] = {
+    # Irregular pointer/heap traversals — latency-bound, prefetch-hostile.
+    "pointer-heavy": ["mcf", "omnetpp", "xalancbmk", "dc", "astar"],
+    # Long regular streams — bandwidth-bound, prefetch-friendly.
+    "streaming": ["libquantum", "rotate", "ft", "rgbyuv", "h264ref"],
+    # Hard-to-predict control flow — front-end/branch-bound.
+    "branchy": ["sjeng", "gobmk", "bzip2", "bodytrack"],
+    # Graph analytics — a mix of gathers and data-dependent branches.
+    "graph": ["bfs", "sssp", "pagerank", "triangle_count", "community",
+              "connected_comp"],
+    # Dense arithmetic with deep dependence chains — core-bound.
+    "compute": ["bt", "lu", "ep", "md5", "kmeans"],
+    # Scatter/gather table updates — TLB- and L2-sensitive.
+    "scatter-gather": ["is", "tinyjpeg", "hmmer", "stringsearch"],
+    # Nearest-neighbour sweeps — capacity-sensitive, stencil reuse.
+    "stencil": ["mg", "sp", "streamcluster"],
+}
+
+
 def suite_workloads(suite: str) -> List[Workload]:
     """Workloads belonging to ``suite`` (raises ``KeyError`` for unknown suites)."""
     return list(SUITES[suite])
+
+
+def scenario_workloads(scenario: str) -> List[str]:
+    """Workload names of one named scenario (raises ``KeyError`` if unknown)."""
+    try:
+        return list(SCENARIOS[scenario])
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+        ) from None
 
 
 def all_workloads() -> List[Workload]:

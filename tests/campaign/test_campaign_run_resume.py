@@ -1,0 +1,167 @@
+"""Scheduler + store: end-to-end runs, kill-between-cells resume, status."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.scheduler import CampaignScheduler, run_campaign
+from repro.campaign.spec import CampaignSpec, variants
+from repro.campaign.store import CampaignStore
+from repro.experiments.parallel import ParallelExperimentRunner
+
+WINDOW = dict(warmup_instructions=1500, timed_instructions=1500)
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="resume-test",
+        title="Resume test campaign",
+        experiment="repro.experiments.fig10_energy",
+        workloads=("libquantum", "mcf"),
+        variants=variants(
+            dict(name="bl", kind="baseline"),
+            dict(name="dla", kind="dla", dla_preset="dla"),
+            dict(name="r3", kind="dla", dla_preset="r3"),
+        ),
+        **WINDOW,
+    )
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    path = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(path))
+    # Resume semantics depend on the disk cache: pin it on even when the
+    # ambient environment sets REPRO_DISK_CACHE=0.
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    return path
+
+
+def _runner(spec: CampaignSpec) -> ParallelExperimentRunner:
+    return ParallelExperimentRunner(
+        quick=True, workload_names=spec.resolve_workloads(),
+        warmup_instructions=spec.warmup_instructions,
+        timed_instructions=spec.timed_instructions,
+        processes=1,
+    )
+
+
+class _KilledMidCampaign(Exception):
+    pass
+
+
+class _InterruptingRunner(ParallelExperimentRunner):
+    """Dies *between* cells once ``budget`` simulations have completed."""
+
+    def __init__(self, *args, budget: int, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._budget = budget
+
+    def _check_budget(self) -> None:
+        if self.stats.simulations >= self._budget:
+            raise _KilledMidCampaign()
+
+    def baseline(self, *args, **kwargs):
+        self._check_budget()
+        return super().baseline(*args, **kwargs)
+
+    def dla(self, *args, **kwargs):
+        self._check_budget()
+        return super().dla(*args, **kwargs)
+
+
+def test_campaign_runs_and_persists(cache_dir, tmp_path):
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    scheduler = CampaignScheduler(spec, store=store, runner=_runner(spec),
+                                  bench_report=False)
+    summary = scheduler.run()
+    assert summary["cells_total"] == 6
+    assert summary["cells_simulated"] == 6
+    result = store.load_result()
+    assert result is not None
+    assert result["tables"]["energy_summary"]
+    assert result["text"].startswith("Fig. 10")
+    status = store.status()
+    assert status["state"] == "complete"
+    assert status["cells_cached"] == 6
+
+
+def test_kill_between_cells_then_resume_with_zero_resimulation(cache_dir, tmp_path):
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+
+    # First attempt dies after 2 of the 6 cells have been simulated.
+    killed = _InterruptingRunner(
+        quick=True, workload_names=spec.resolve_workloads(), processes=1,
+        budget=2, **WINDOW,
+    )
+    with pytest.raises(_KilledMidCampaign):
+        CampaignScheduler(spec, store=store, runner=killed,
+                          bench_report=False).run()
+    assert killed.stats.simulations == 2
+
+    # Restart with a fresh runner/scheduler (fresh process equivalent):
+    # the two finished cells come back from disk, only the rest simulate.
+    resumed = _runner(spec)
+    summary = CampaignScheduler(spec, store=store, runner=resumed,
+                                bench_report=False).run()
+    assert summary["cells_total"] == 6
+    assert summary["cells_simulated"] == 4            # 6 - 2 already done
+    assert resumed.stats.simulations == 4
+    assert resumed.stats.disk_hits >= 2               # the killed run's cells
+
+    # A third run re-simulates nothing at all.
+    third = _runner(spec)
+    summary = CampaignScheduler(spec, store=store, runner=third,
+                                bench_report=False).run()
+    assert summary["cells_simulated"] == 0
+    assert third.stats.simulations == 0
+
+
+def test_spec_change_resets_manifest_but_not_simulations(cache_dir, tmp_path):
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    CampaignScheduler(spec, store=store, runner=_runner(spec),
+                      bench_report=False).run()
+    manifest = store.load_manifest()
+    assert manifest["spec_fingerprint"] == spec.fingerprint()
+
+    # Narrow the spec: new fingerprint -> fresh bookkeeping, but the cell
+    # results themselves still come from the shared cache.
+    narrowed = CampaignSpec.from_dict(
+        {**spec.to_dict(), "workloads": ["libquantum"]}
+    )
+    runner = _runner(narrowed)
+    summary = CampaignScheduler(narrowed, store=store, runner=runner,
+                                bench_report=False).run()
+    assert store.load_manifest()["spec_fingerprint"] == narrowed.fingerprint()
+    assert summary["cells_total"] == 3
+    assert summary["cells_simulated"] == 0            # all were cached
+    assert runner.stats.simulations == 0
+
+
+def test_status_not_complete_after_mode_change(cache_dir, tmp_path):
+    """A mode/spec change must not report the stale result as complete."""
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    CampaignScheduler(spec, store=store, runner=_runner(spec),
+                      bench_report=False).run()
+    assert store.status()["state"] == "complete"
+    # Re-plan in full mode (as an interrupted `repro run --full` would):
+    store.begin(spec, "full")
+    assert store.status()["state"] == "partial"       # quick result is stale
+
+
+def test_run_campaign_by_name_smoke(cache_dir, tmp_path):
+    store = CampaignStore("smoke", tmp_path / "campaigns")
+    summary = run_campaign("smoke", store=store, bench_report=False)
+    assert summary["cells_total"] == 12
+    assert store.load_result() is not None
+
+
+def test_unknown_campaign_name_raises(cache_dir):
+    from repro.campaign.spec import SpecError
+
+    with pytest.raises(SpecError):
+        run_campaign("never-heard-of-it")

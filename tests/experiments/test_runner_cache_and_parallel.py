@@ -212,10 +212,104 @@ def test_parallel_stats_count_each_simulation_once():
                 system_config=runner.system_config, disk_cache=False, **WINDOW)
     first = SimRequest(WORKLOAD, "baseline", "bl")
     second = SimRequest("mcf", "baseline", "bl")
-    _, _, stats_a = _run_group((ctor, WORKLOAD, [first]))
-    _, _, stats_b = _run_group((ctor, "mcf", [second]))
+    _, _, stats_a, _ = _run_group((ctor, WORKLOAD, [first]))
+    _, _, stats_b, _ = _run_group((ctor, "mcf", [second]))
     assert stats_a.simulations == 1
     assert stats_b.simulations == 1
+
+
+# ---------------------------------------------------------------------------
+# auxiliary (related-approach) simulations through the cache
+# ---------------------------------------------------------------------------
+def test_auxiliary_simulations_cached(tmp_path, monkeypatch):
+    from repro.baselines import simulate_bfetch
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "aux"))
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    runner = make_runner(disk_cache=True)
+    setup = runner.setup(WORKLOAD)
+
+    calls = {"n": 0}
+
+    def simulate():
+        calls["n"] += 1
+        return simulate_bfetch(setup.timed, runner.system_config,
+                               warmup_entries=setup.warmup)
+
+    first = runner.auxiliary(setup, "bfetch", simulate)
+    second = runner.auxiliary(setup, "bfetch", simulate)
+    assert calls["n"] == 1 and second is first
+    assert runner.stats.simulations == 1
+
+    fresh = make_runner(disk_cache=True)
+    from_disk = fresh.auxiliary(fresh.setup(WORKLOAD), "bfetch",
+                                lambda: pytest.fail("must come from disk"))
+    assert fresh.stats.disk_hits == 1
+    assert from_disk.cycles == first.cycles
+
+
+# ---------------------------------------------------------------------------
+# segmented (recycle) simulations through the cache
+# ---------------------------------------------------------------------------
+def test_dla_segmented_cached_by_content_and_mode():
+    runner = make_runner()
+    setup = runner.setup(WORKLOAD)
+    r3 = DlaConfig().r3()
+    static = runner.dla_segmented(setup, r3, dynamic=False)
+    static_again = runner.dla_segmented(setup, r3, dynamic=False, label="other")
+    assert static_again is static                     # memory hit, label cosmetic
+    dynamic = runner.dla_segmented(setup, r3, dynamic=True)
+    assert dynamic is not static                      # tuning mode is in the key
+    assert runner.stats.simulations == 2
+    assert runner.stats.memory_hits == 1
+    # Plan summary rides along with the outcome.
+    assert len(static.version_names) == 6
+    assert abs(sum(static.version_distribution.values()) - 1.0) < 1e-6
+    # Dynamic tuning pays trial slices for suboptimal versions.
+    assert dynamic.cycles >= static.cycles
+
+
+def test_dla_segmented_disk_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "seg"))
+    first = make_runner(disk_cache=True)
+    outcome = first.dla_segmented(first.setup(WORKLOAD), DlaConfig().r3())
+    assert first.stats.simulations == 1
+
+    second = make_runner(disk_cache=True)
+    from_disk = second.dla_segmented(second.setup(WORKLOAD), DlaConfig().r3())
+    assert second.stats.simulations == 0
+    assert second.stats.disk_hits == 1
+    assert from_disk.cycles == outcome.cycles
+    assert from_disk.chosen_versions == outcome.chosen_versions
+    assert from_disk.version_distribution == outcome.version_distribution
+
+
+def test_parallel_warm_handles_segmented_requests():
+    serial = make_runner()
+    s_out = serial.dla_segmented(serial.setup(WORKLOAD), DlaConfig().r3(),
+                                 dynamic=True)
+
+    runner = ParallelExperimentRunner(
+        quick=True, workload_names=[WORKLOAD], disk_cache=False, **WINDOW
+    )
+    request = SimRequest(WORKLOAD, "segmented", "recycle-dynamic",
+                         dla_config=DlaConfig().r3(), dynamic=True)
+    executed = runner.warm([request], processes=2)
+    assert executed == 1
+    p_out = runner.dla_segmented(runner.setup(WORKLOAD), DlaConfig().r3(),
+                                 dynamic=True)
+    assert runner.stats.memory_hits >= 1              # warm filled the cache
+    assert p_out.cycles == s_out.cycles               # bit-identical across processes
+    assert p_out.chosen_versions == s_out.chosen_versions
+
+
+def test_segmented_request_validation():
+    with pytest.raises(ValueError):
+        SimRequest("mcf", "segmented")                # missing dla_config
+    with pytest.raises(ValueError):
+        # dynamic is not part of the dla cache key; accepting it would
+        # silently alias with the dynamic=False request.
+        SimRequest("mcf", "dla", dla_config=DlaConfig().r3(), dynamic=True)
 
 
 def test_parallel_warm_is_idempotent():
