@@ -53,6 +53,11 @@ class ConfigVariant:
     dla_optimizations: Mapping[str, bool] = field(default_factory=dict)
     #: Segmented variants only: on-line (dynamic) vs off-line tuning.
     dynamic: bool = False
+    #: MSHR-file capacity applied uniformly to every cache level via
+    #: ``SystemConfig.with_mshr_entries``: ``None`` leaves the base config
+    #: untouched, a positive integer caps outstanding misses per level, and
+    #: ``0`` means *unbounded* (infinite memory-level parallelism).
+    mshr_entries: Optional[int] = None
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -81,6 +86,15 @@ class ConfigVariant:
             raise SpecError(
                 f"variant {self.name!r}: dynamic tuning is a segmented-only knob"
             )
+        if self.mshr_entries is not None and (
+            not isinstance(self.mshr_entries, int)
+            or isinstance(self.mshr_entries, bool)   # bool subclasses int
+            or self.mshr_entries < 0
+        ):
+            raise SpecError(
+                f"variant {self.name!r}: mshr_entries must be a non-negative "
+                "integer (0 = unbounded) or None"
+            )
 
     # ------------------------------------------------------------------
     # materialisation
@@ -92,7 +106,11 @@ class ConfigVariant:
         ``config=None`` for the default too, and both spellings must map to
         one fingerprint-keyed cache slot.
         """
-        if self.prefetch == "default" and not self.core_overrides:
+        if (
+            self.prefetch == "default"
+            and not self.core_overrides
+            and self.mshr_entries is None
+        ):
             return None
         config = base
         if self.prefetch == "none":
@@ -101,6 +119,10 @@ class ConfigVariant:
             config = config.with_l1_stride()
         if self.core_overrides:
             config = config.with_overrides(**dict(self.core_overrides))
+        if self.mshr_entries is not None:
+            config = config.with_mshr_entries(
+                None if self.mshr_entries == 0 else self.mshr_entries
+            )
         return config
 
     def dla_config(self) -> Optional[DlaConfig]:

@@ -98,6 +98,23 @@ class SystemConfig:
         """A copy with an added L1 stride prefetcher (Sec. IV-C1)."""
         return replace(self, l1_prefetcher="stride")
 
+    def with_mshr_entries(self, entries: Optional[int]) -> "SystemConfig":
+        """A copy with every cache level's MSHR file set to ``entries``.
+
+        ``None`` makes every file unbounded (infinite memory-level
+        parallelism — the pre-MSHR-model behaviour); an integer caps the
+        outstanding misses of each level uniformly, which is the knob the
+        ``mshr:*`` sensitivity campaigns sweep.
+        """
+        memory = replace(
+            self.memory,
+            l1i=replace(self.memory.l1i, mshr_entries=entries),
+            l1d=replace(self.memory.l1d, mshr_entries=entries),
+            l2=replace(self.memory.l2, mshr_entries=entries),
+            l3=replace(self.memory.l3, mshr_entries=entries),
+        )
+        return replace(self, memory=memory)
+
 
 def smt_full_core_config() -> CoreConfig:
     """The wide SMT core of Sec. IV-B3 (loosely POWER9 SMT8-like).

@@ -461,13 +461,18 @@ class OutOfOrderCore:
 
     # ------------------------------------------------------------------
     def _run_prefetchers(self, pc, address, access, cycle) -> None:
+        # A ``None`` fill time means the memory system dropped the request
+        # because no MSHR entry was free; the prefetcher is told so stateful
+        # schemes can account for the lost coverage.
         if self.l1_prefetcher is not None:
             for request in self.l1_prefetcher.observe(pc, address, not access.l1_miss, int(cycle)):
-                self.memory.prefetch(request.address, int(cycle), level="l1")
+                if self.memory.prefetch(request.address, int(cycle), level="l1") is None:
+                    self.l1_prefetcher.notify_drop(request)
         if self.l2_prefetcher is not None and access.l1_miss:
             l2_hit = access.supplied_by == "l2"
             for request in self.l2_prefetcher.observe(pc, address, l2_hit, int(cycle)):
-                self.memory.prefetch(request.address, int(cycle), level=request.level)
+                if self.memory.prefetch(request.address, int(cycle), level=request.level) is None:
+                    self.l2_prefetcher.notify_drop(request)
 
     def _wrong_path_pollution(self, recent_loads: List[int], cycle: float,
                               result: CoreResult) -> None:

@@ -40,6 +40,9 @@ class SimulationOutcome:
     dram_energy: float
     shared: SharedMemorySystem = field(repr=False, default=None)
     private: CoreMemorySystem = field(repr=False, default=None)
+    #: Per-level MSHR occupancy telemetry ({level: {counter: value}}); kept
+    #: as a plain dict so it survives :func:`strip_outcome` and disk caching.
+    mshr: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def cycles(self) -> float:
@@ -202,6 +205,14 @@ def warm_memory_systems(memories: Sequence[CoreMemorySystem],
     else:
         for memory in memories:
             _replay_warmup(memory, entries, cycles_per_access)
+    # The timed region restarts the clock at 0 while warm replay ran on its
+    # own (much later) cycle numbers: quiesce the MSHR files so the warm
+    # window's in-flight arrival times cannot stall the timed region.  The
+    # drain runs after both the replay and the restore path, so warm-vs-cold
+    # outcomes stay bit-identical.
+    for memory in memories:
+        memory.drain_mshrs()
+    memories[0].shared.drain_mshrs()
 
 
 def warm_memory_system(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
@@ -254,4 +265,5 @@ def simulate_baseline(
         dram_energy=shared.dram.energy(int(result.cycles)),
         shared=shared,
         private=private,
+        mshr={**private.mshr_telemetry(), **shared.mshr_telemetry()},
     )

@@ -108,6 +108,8 @@ class MainThreadHintSource:
         # Just-in-time prefetch-hint installation.
         self._prefetch_cursor = 0
         self.prefetches_installed = 0
+        #: Hints whose prefetch the memory system dropped (MSHR file full).
+        self.prefetches_dropped = 0
 
         # Hot-path aliases (single attribute load in per-instruction hooks).
         self._branch_times = products.branch_times
@@ -211,8 +213,10 @@ class MainThreadHintSource:
             available = produce_cycle + self.offset
             if available > fetch_cycle:
                 break
-            self.memory.prefetch(address, int(available), level="l1")
+            installed = self.memory.prefetch(address, int(available), level="l1")
             self.memory.prefill_tlb(address, int(available))
+            # The FQ entry was transferred either way (the communication
+            # happened); only successful installs count as prefetches.
             self.fq.produce(
                 FootnoteEntry(
                     kind=FootnoteKind.L1_PREFETCH,
@@ -220,7 +224,10 @@ class MainThreadHintSource:
                     address=address,
                 )
             )
-            self.prefetches_installed += 1
+            if installed is not None:
+                self.prefetches_installed += 1
+            else:
+                self.prefetches_dropped += 1
             self._prefetch_cursor += 1
 
         if entry.static.is_branch:

@@ -176,16 +176,40 @@ class RecycleController:
 
     # ------------------------------------------------------------------
     def plan(self, dla_system, entries: Sequence[DynamicInst],
-             dynamic: bool = False, sample_length: int = 2500) -> RecyclePlan:
+             dynamic: bool = False, sample_length: int = 2500,
+             search_unit_limit: Optional[int] = None) -> RecyclePlan:
         """Choose a skeleton version per loop unit and emit a simulation plan.
 
         ``dynamic=True`` models on-line tuning: each unit first cycles through
         every version for a trial slice (paying for the suboptimal ones)
         before settling on the winner; ``dynamic=False`` models off-line
         (training-input) tuning where the winner is known up front.
+
+        ``search_unit_limit`` bounds how many *distinct loops* are tuned:
+        only the ``N`` loops covering the most trace instructions (ties
+        broken by first appearance, so the choice is deterministic) pay for
+        version search and dynamic trials; the long tail of minor loops is
+        pinned to the default version.  The plan still covers the entire
+        trace — this samples the expensive tuning work the way quick mode
+        samples workloads, which is what keeps ``--full`` segmented cells
+        from dominating campaign wall time.
         """
         entries = list(entries)
         units = self.segment_into_loop_units(entries)
+        searchable: Optional[set] = None
+        if search_unit_limit is not None:
+            instruction_weight: Dict[int, int] = {}
+            appearance: Dict[int, int] = {}
+            for unit in units:
+                instruction_weight[unit.loop_pc] = (
+                    instruction_weight.get(unit.loop_pc, 0) + unit.length
+                )
+                appearance.setdefault(unit.loop_pc, len(appearance))
+            ranked = sorted(
+                instruction_weight,
+                key=lambda pc: (-instruction_weight[pc], appearance[pc]),
+            )
+            searchable = set(ranked[:search_unit_limit])
         if not units:
             skeleton = self.versions[0]
             return RecyclePlan(
@@ -203,17 +227,22 @@ class RecycleController:
 
         for unit in units:
             unit_entries = entries[unit.start:unit.end]
+            sampled = searchable is None or unit.loop_pc in searchable
             cached = self.lct.lookup(unit.loop_pc)
             if cached is not None:
                 best = cached
             elif unit.loop_pc in best_for_loop:
                 best = best_for_loop[unit.loop_pc]
+            elif not sampled:
+                # Unsampled minor loop: default version, no search, no trials.
+                best = 0
+                best_for_loop[unit.loop_pc] = best
             else:
                 best = self._search_best(dla_system, unit_entries, sample_length)
                 best_for_loop[unit.loop_pc] = best
                 self.lct.insert(unit.loop_pc, best)
 
-            if dynamic and cached is None:
+            if dynamic and cached is None and sampled:
                 # On-line tuning: spend trial slices on every version first.
                 trial = self.config.recycle_trial_instructions
                 cursor = 0

@@ -13,15 +13,24 @@ half-cores), what is the best way to spend it on a single program?
   single-thread option).
 
 All results are normalised to a single half-core (HC).
+
+The module exposes each scenario as an independently-simulatable piece
+(:func:`smt_configs`, :func:`simulate_smt_pair`, the ordinary baseline/DLA
+entry points) plus :func:`comparison_from_outcomes` to assemble the figure —
+so :mod:`repro.experiments.fig11_smt` can route every simulation through
+``ExperimentRunner.auxiliary`` and its content-fingerprint cache instead of
+re-simulating on every run.  :func:`simulate_smt_modes` remains the uncached
+one-call composition of the same pieces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig, sm_half_core_config, smt_full_core_config
 from repro.core.pipeline import OutOfOrderCore
+from repro.core.results import CoreResult
 from repro.core.system import simulate_baseline
 from repro.dla.config import DlaConfig
 from repro.dla.profiling import ProgramProfile
@@ -51,8 +60,40 @@ class SmtComparison:
         }
 
 
-def _smt_throughput(trace: Trace, config: SystemConfig) -> float:
-    """Combined IPC of two copies of the benchmark sharing the L3/DRAM.
+@dataclass
+class SmtPairOutcome:
+    """Two-copy SMT throughput run: per-copy results and combined IPC."""
+
+    copies: List[CoreResult]
+
+    @property
+    def ipc(self) -> float:
+        total = 0.0
+        for copy in self.copies:
+            total += copy.ipc
+        return total
+
+    @property
+    def committed(self) -> int:
+        return sum(copy.committed for copy in self.copies)
+
+
+def smt_configs(base_config: Optional[SystemConfig] = None) -> Tuple[SystemConfig, SystemConfig]:
+    """The (half-core, full-core) system configs derived from ``base_config``.
+
+    Only the core changes (sized exactly as Fig. 11); everything else —
+    memory hierarchy, prefetchers, frequency/voltage and any future fields —
+    carries over via ``replace`` so the derived configs (and therefore the
+    auxiliary-cache fingerprints) track the base config faithfully.
+    """
+    base_config = base_config or SystemConfig()
+    half_cfg = replace(base_config, core=sm_half_core_config())
+    full_cfg = replace(base_config, core=smt_full_core_config())
+    return half_cfg, full_cfg
+
+
+def simulate_smt_pair(trace: Trace, config: SystemConfig) -> SmtPairOutcome:
+    """Two copies of the benchmark sharing the L3/DRAM (the SMT scenario).
 
     Each copy gets half of the wide core's resources (the SMT partitioning);
     the copies are simulated back to back against one shared memory system so
@@ -60,8 +101,12 @@ def _smt_throughput(trace: Trace, config: SystemConfig) -> float:
     """
     half = config.with_overrides(**vars(sm_half_core_config()))
     shared = SharedMemorySystem(half.memory)
-    total_ipc = 0.0
+    copies: List[CoreResult] = []
     for copy_index in range(2):
+        # Each copy restarts the simulated clock: quiesce the shared MSHR
+        # file so the previous copy's in-flight arrival times cannot alias
+        # into the new time base (L3 *contents* intentionally carry over).
+        shared.drain_mshrs()
         memory = CoreMemorySystem(shared, half.memory)
         l2_pf = (
             make_prefetcher(half.l2_prefetcher)
@@ -70,9 +115,21 @@ def _smt_throughput(trace: Trace, config: SystemConfig) -> float:
         )
         core = OutOfOrderCore(half.core, memory, l2_prefetcher=l2_pf,
                               name=f"smt-copy-{copy_index}")
-        result = core.run(trace.entries)
-        total_ipc += result.ipc
-    return total_ipc
+        copies.append(core.run(trace.entries))
+    return SmtPairOutcome(copies=copies)
+
+
+def comparison_from_outcomes(half_outcome, full_outcome, dla_outcome,
+                             r3_outcome, pair_outcome) -> SmtComparison:
+    """Assemble the Fig. 11 comparison from the five scenario outcomes."""
+    half_ipc = half_outcome.ipc or 1e-9
+    return SmtComparison(
+        half_core_ipc=half_ipc,
+        full_core=full_outcome.ipc / half_ipc,
+        dla=dla_outcome.ipc / half_ipc,
+        r3_dla=r3_outcome.ipc / half_ipc,
+        smt=pair_outcome.ipc / half_ipc,
+    )
 
 
 def simulate_smt_modes(
@@ -82,22 +139,9 @@ def simulate_smt_modes(
     base_config: Optional[SystemConfig] = None,
     dla_config: Optional[DlaConfig] = None,
 ) -> SmtComparison:
-    """Run the four usage scenarios of Fig. 11 for one workload."""
-    base_config = base_config or SystemConfig()
+    """Run the four usage scenarios of Fig. 11 for one workload (uncached)."""
     dla_config = dla_config or DlaConfig()
-
-    half_cfg = SystemConfig(
-        core=sm_half_core_config(),
-        memory=base_config.memory,
-        l2_prefetcher=base_config.l2_prefetcher,
-        l1_prefetcher=base_config.l1_prefetcher,
-    )
-    full_cfg = SystemConfig(
-        core=smt_full_core_config(),
-        memory=base_config.memory,
-        l2_prefetcher=base_config.l2_prefetcher,
-        l1_prefetcher=base_config.l1_prefetcher,
-    )
+    half_cfg, full_cfg = smt_configs(base_config)
 
     half_outcome = simulate_baseline(trace, half_cfg)
     full_outcome = simulate_baseline(trace, full_cfg)
@@ -108,13 +152,7 @@ def simulate_smt_modes(
     r3_system = DlaSystem(program, half_cfg, dla_config.r3(), profile=profile)
     r3_outcome = r3_system.simulate(trace)
 
-    smt_ipc = _smt_throughput(trace, full_cfg)
-
-    half_ipc = half_outcome.ipc or 1e-9
-    return SmtComparison(
-        half_core_ipc=half_ipc,
-        full_core=full_outcome.ipc / half_ipc,
-        dla=dla_outcome.ipc / half_ipc,
-        r3_dla=r3_outcome.ipc / half_ipc,
-        smt=smt_ipc / half_ipc,
+    pair_outcome = simulate_smt_pair(trace, full_cfg)
+    return comparison_from_outcomes(
+        half_outcome, full_outcome, dla_outcome, r3_outcome, pair_outcome
     )

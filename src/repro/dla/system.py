@@ -67,6 +67,9 @@ class DlaOutcome:
     lookahead_energy: EnergyBreakdown
     #: Names of the R3 optimizations that were active.
     optimizations: Tuple[str, ...] = ()
+    #: Per-level MSHR occupancy telemetry: {"main": {...}, "lookahead": {...},
+    #: "shared": {...}} with per-cache counter dicts inside.
+    mshr: Optional[Dict[str, Dict[str, Dict[str, int]]]] = None
 
     @property
     def cycles(self) -> float:
@@ -303,7 +306,15 @@ class DlaSystem:
         if not entries:
             empty = CoreResult(name="main-thread")
             return empty, CoreResult(name="look-ahead")
+        # The two passes model concurrent threads but run back to back on
+        # their own clocks, sharing the L3.  Quiesce the shared MSHR file at
+        # each handoff: one pass's in-flight arrival times live in the other
+        # pass's future and would otherwise read as a permanently-full file.
+        # (Line fill times intentionally do carry across — that aliasing is
+        # how the look-ahead thread's L3 warming reaches the main thread.)
+        state.shared.drain_mshrs()
         products, lt_result = self._lookahead_pass(state, entries, skeleton)
+        state.shared.drain_mshrs()
         mt_result, hint_source = self._main_pass(state, entries, skeleton, products)
         state.mt_clock += mt_result.cycles
         # The look-ahead thread cannot finish a segment before the main
@@ -363,6 +374,11 @@ class DlaSystem:
             main_energy=main_energy,
             lookahead_energy=lookahead_energy,
             optimizations=self.dla_config.enabled_optimizations,
+            mshr={
+                "main": state.mt_memory.mshr_telemetry(),
+                "lookahead": state.lt_memory.mshr_telemetry(),
+                "shared": state.shared.mshr_telemetry(),
+            },
         )
 
     # ------------------------------------------------------------------

@@ -66,6 +66,8 @@ class _PrefetchTableEntry:
 @dataclass
 class T1Stats:
     prefetches_issued: int = 0
+    #: Requests refused by the memory system (no free MSHR entry at issue).
+    prefetches_dropped: int = 0
     catch_up_bursts: int = 0
     entries_allocated: int = 0
     entries_reset: int = 0
@@ -157,8 +159,10 @@ class T1PrefetchEngine:
             if target // block in issued_blocks:
                 continue
             issued_blocks.add(target // block)
-            self.memory.prefetch(target, int(cycle), level="l1")
-            self.stats.prefetches_issued += 1
+            if self.memory.prefetch(target, int(cycle), level="l1") is not None:
+                self.stats.prefetches_issued += 1
+            else:
+                self.stats.prefetches_dropped += 1
 
     def _allocate(self, pc: int, cycle: float) -> _PrefetchTableEntry:
         if len(self._table) >= self.config.entries:

@@ -15,7 +15,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_bar_chart, format_table
-from repro.dla.smt import simulate_smt_modes
+from repro.core.system import simulate_baseline
+from repro.dla.config import DlaConfig
+from repro.dla.smt import comparison_from_outcomes, simulate_smt_pair, smt_configs
+from repro.dla.system import DlaSystem
 from repro.experiments.runner import ExperimentRunner
 from repro.util.stats_math import geometric_mean
 
@@ -46,15 +49,28 @@ def run(runner: Optional[ExperimentRunner] = None,
     if max_workloads is None:
         max_workloads = 4 if runner.quick else len(setups)
     per_workload: Dict[str, Dict[str, float]] = {}
+    half_cfg, full_cfg = smt_configs(runner.system_config)
+    dla_config = DlaConfig()
     for setup in setups[:max_workloads]:
-        comparison = simulate_smt_modes(
-            setup.program,
-            setup.workload.trace(len(setup.timed) + len(setup.warmup)).window(
-                len(setup.warmup), len(setup.timed)
-            ),
-            setup.profile,
-            runner.system_config,
+        trace = setup.workload.trace(len(setup.timed) + len(setup.warmup)).window(
+            len(setup.warmup), len(setup.timed)
         )
+        # Every scenario goes through the runner's auxiliary cache (like
+        # fig09's related approaches), so campaign reruns and resumes are
+        # free instead of re-simulating the whole SMT matrix.
+        half = runner.auxiliary(setup, "smt-hc", lambda: simulate_baseline(
+            trace, half_cfg))
+        full = runner.auxiliary(setup, "smt-fc", lambda: simulate_baseline(
+            trace, full_cfg))
+        dla = runner.auxiliary(setup, "smt-dla", lambda: DlaSystem(
+            setup.program, half_cfg, dla_config.baseline_dla(),
+            profile=setup.profile).simulate(trace))
+        r3 = runner.auxiliary(setup, "smt-r3dla", lambda: DlaSystem(
+            setup.program, half_cfg, dla_config.r3(),
+            profile=setup.profile).simulate(trace))
+        pair = runner.auxiliary(setup, "smt-pair", lambda: simulate_smt_pair(
+            trace, full_cfg))
+        comparison = comparison_from_outcomes(half, full, dla, r3, pair)
         per_workload[setup.name] = comparison.as_dict()
     geomean = {
         mode: geometric_mean([values[mode] for values in per_workload.values()])

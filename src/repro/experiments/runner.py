@@ -44,6 +44,11 @@ QUICK_WORKLOADS = [
     "cg", "mg",                                      # npb
 ]
 
+#: Full mode caps recycle tuning at this many distinct loops per workload
+#: (the heaviest by instruction coverage) — the segmented-cell analogue of
+#: quick mode's workload sampling.  Quick mode tunes every loop.
+FULL_MODE_SEARCH_UNITS = 6
+
 
 @dataclass
 class WorkloadSetup:
@@ -241,7 +246,15 @@ class ExperimentRunner:
             dla_config,
             bool(dynamic),
         ]
+        limit = self._search_unit_limit()
+        if limit is not None:
+            # Quick mode (no sampling) keeps its historical key shape.
+            parts.append(("search-units", limit))
         return fingerprint(*parts)
+
+    def _search_unit_limit(self) -> Optional[int]:
+        """Loop-tuning sample size for segmented runs (None = tune all)."""
+        return None if self.quick else FULL_MODE_SEARCH_UNITS
 
     def segmented_key(self, setup: WorkloadSetup, dla_config: DlaConfig,
                       dynamic: bool,
@@ -386,7 +399,8 @@ class ExperimentRunner:
         )
         controller = RecycleController(versions, dla_config,
                                        setup.profile.loop_branch_pcs)
-        plan = controller.plan(system, setup.timed, dynamic=dynamic)
+        plan = controller.plan(system, setup.timed, dynamic=dynamic,
+                               search_unit_limit=self._search_unit_limit())
         outcome = system.simulate_segmented(plan.segments,
                                             warmup_entries=setup.warmup)
         result = SegmentedOutcome(
@@ -432,8 +446,12 @@ class ExperimentRunner:
         if isinstance(outcome, SimulationOutcome):
             committed = outcome.core.committed
             payload = strip_outcome(outcome)
-        else:   # DlaOutcome-shaped (two-thread comparison models)
-            committed = outcome.main.committed + outcome.lookahead.committed
+        else:
+            # DlaOutcome-shaped (two-thread comparison models) or anything
+            # exposing a ``committed`` total (e.g. the SMT pair outcome).
+            committed = getattr(outcome, "committed", None)
+            if committed is None:
+                committed = outcome.main.committed + outcome.lookahead.committed
             payload = outcome
         self._record_simulation(started, committed)
         self._aux_cache[key] = outcome

@@ -16,11 +16,12 @@ class CacheConfig:
     block_bytes: int = 64
     #: Access latency in core cycles (hit latency of this level).
     latency: int = 3
-    #: Maximum outstanding misses.  MSHR occupancy is not currently modelled
-    #: in the timing path (see ROADMAP open items); the parameter is kept so
-    #: configurations — and their content fingerprints — stay stable when
-    #: the model lands.
-    mshr_entries: int = 32
+    #: Maximum outstanding misses this level can sustain (the MSHR file
+    #: capacity).  ``None`` means unbounded: no file is built and the timing
+    #: path is bit-identical to a machine with infinite memory-level
+    #: parallelism.  A bounded file stalls further misses while full (see
+    #: :class:`MshrFile`) and gates prefetch issue.
+    mshr_entries: Optional[int] = 32
 
     def __post_init__(self) -> None:
         if self.size_bytes % (self.associativity * self.block_bytes) != 0:
@@ -46,7 +47,19 @@ class CacheStats:
     prefetches_useless: int = 0     # prefetched lines evicted before any use
     writebacks: int = 0
     evictions: int = 0
-    mshr_stall_cycles: int = 0
+    #: Cycles demand misses spent waiting for a free MSHR entry (fractional:
+    #: the core model runs on sub-cycle timestamps).
+    mshr_stall_cycles: float = 0.0
+    #: Number of demand misses that had to wait for a free MSHR entry.
+    mshr_stalls: int = 0
+    #: Primary misses that allocated a fresh MSHR entry.
+    mshr_allocations: int = 0
+    #: Fills that coalesced onto an already in-flight entry (no double entry).
+    mshr_coalesced: int = 0
+    #: Highest observed number of simultaneously in-flight entries.
+    mshr_peak_occupancy: int = 0
+    #: Prefetch requests dropped because the MSHR file was full at issue.
+    prefetches_dropped: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -54,7 +67,129 @@ class CacheStats:
 
     def merge(self, other: "CacheStats") -> None:
         for name in vars(other):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+            if name == "mshr_peak_occupancy":
+                # Peak occupancy is a high-water mark, not a flow counter.
+                self.mshr_peak_occupancy = max(
+                    self.mshr_peak_occupancy, other.mshr_peak_occupancy
+                )
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class MshrFile:
+    """Miss-status-holding registers of one cache level.
+
+    The simulator is trace-driven rather than event-driven, so the file is a
+    *lazy timestamp* model: an entry is a ``block -> data-arrival cycle``
+    pair.  A primary miss allocates an entry that logically occupies the file
+    until its fill time passes; entries whose arrival time is behind the
+    current access time have retired and are pruned on demand.  A secondary
+    fill for an in-flight block coalesces onto the existing entry (keeping
+    the earliest arrival) instead of allocating a second one.
+
+    When every entry is still in flight at the time of a new primary miss,
+    the miss cannot issue: :meth:`acquire_delay` returns how long it must
+    wait for the earliest entry to retire (the freed slot is consumed
+    immediately so back-to-back stalled misses queue behind one another).
+    """
+
+    __slots__ = ("capacity", "_inflight")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive (None = unbounded)")
+        self.capacity = capacity
+        self._inflight: Dict[int, float] = {}
+
+    # -- occupancy ---------------------------------------------------------
+    def _retire(self, now: float) -> None:
+        inflight = self._inflight
+        if inflight:
+            for block in [b for b, t in inflight.items() if t <= now]:
+                del inflight[block]
+
+    def occupancy(self, now: float) -> int:
+        """Entries still in flight at cycle ``now``."""
+        self._retire(now)
+        return len(self._inflight)
+
+    def available(self, now: float) -> bool:
+        """Whether a new entry could be allocated at cycle ``now``.
+
+        The full retire scan only runs when the file looks full — the
+        common uncontended case is a single length check.
+        """
+        if len(self._inflight) < self.capacity:
+            return True
+        self._retire(now)
+        return len(self._inflight) < self.capacity
+
+    # -- demand-miss path --------------------------------------------------
+    def acquire_delay(self, block: int, now: float) -> float:
+        """Cycles a primary miss for ``block`` must wait for a free entry.
+
+        Secondary misses (the block is already in flight — e.g. it was
+        evicted while its refill was outstanding) coalesce and never stall.
+        A full file pops its earliest-retiring entry and charges the wait:
+        the caller is guaranteed to follow up with a :meth:`allocate` via
+        ``Cache.fill``, which takes over the freed slot.
+        """
+        inflight = self._inflight
+        # A block whose earlier flight already completed must be treated as
+        # a fresh primary miss, not coalesced onto the stale entry (which
+        # would occupy no slot and keep the stale arrival time).  Stale
+        # pruning is per-block here and the full retire scan only runs when
+        # the file looks full, keeping the uncontended miss path O(1).
+        arrival = inflight.get(block)
+        if arrival is not None:
+            if arrival > now:
+                return 0.0
+            del inflight[block]
+        if len(inflight) < self.capacity:
+            return 0.0
+        self._retire(now)
+        if len(inflight) < self.capacity:
+            return 0.0
+        earliest_block = min(inflight, key=inflight.__getitem__)
+        earliest = inflight.pop(earliest_block)
+        return earliest - now
+
+    def allocate(self, block: int, completion: float) -> bool:
+        """Track an in-flight fill; returns True for a fresh (primary) entry.
+
+        An existing entry for the block coalesces, keeping the earliest
+        data-arrival time.  (Demand misses prune a *stale* same-block entry
+        in :meth:`acquire_delay` before their fill lands here; a prefetch
+        fill landing on a stale entry merely retires one scan earlier — a
+        transient one-entry undercount on a speculative corner.)  The file
+        never grows beyond its capacity: if an un-gated fill would overflow
+        it, the earliest-retiring entry is dropped (it is the first to have
+        completed anyway).
+        """
+        inflight = self._inflight
+        if block in inflight:
+            if completion < inflight[block]:
+                inflight[block] = completion
+            return False
+        inflight[block] = completion
+        if len(inflight) > self.capacity:
+            victim = min(inflight, key=inflight.__getitem__)
+            del inflight[victim]
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self) -> None:
+        """Forget every in-flight entry (quiesce at a clock-domain boundary)."""
+        self._inflight.clear()
+
+    def snapshot_state(self) -> Dict[int, float]:
+        return dict(self._inflight)
+
+    def restore_state(self, snapshot: Dict[int, float]) -> None:
+        self._inflight = dict(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._inflight)
 
 
 @dataclass(slots=True)
@@ -89,6 +224,14 @@ class Cache:
         self._latency = config.latency
         self._associativity = config.associativity
         self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
+        #: ``None`` when MSHRs are unbounded — the whole model is inert then.
+        self._mshr: Optional[MshrFile] = (
+            MshrFile(config.mshr_entries) if config.mshr_entries is not None else None
+        )
+        #: MSHR wait charged to the most recent miss returned by lookup();
+        #: the hierarchy adds it to the miss's issue time toward the next
+        #: level.  Stays 0 forever when the file is unbounded.
+        self.last_miss_stall: float = 0.0
 
     # -- address helpers -------------------------------------------------
     def _index_tag(self, address: int) -> Tuple[int, int]:
@@ -118,6 +261,13 @@ class Cache:
         line = self._sets[block % self._num_sets].get(block // self._num_sets)
         if line is None:
             stats.misses += 1
+            mshr = self._mshr
+            if mshr is not None:
+                stall = mshr.acquire_delay(block, now)
+                self.last_miss_stall = stall
+                if stall > 0:
+                    stats.mshr_stall_cycles += stall
+                    stats.mshr_stalls += 1
             return None
         stats.hits += 1
         line.last_use = now
@@ -134,15 +284,39 @@ class Cache:
 
     # -- fills and evictions ----------------------------------------------
     def fill(self, address: int, fill_time: int, dirty: bool = False,
-             from_prefetch: bool = False) -> Optional[int]:
+             from_prefetch: bool = False, allocate_mshr: bool = True,
+             now: Optional[float] = None) -> Optional[int]:
         """Install a block; returns the address of a dirty victim needing
-        writeback (``None`` otherwise)."""
+        writeback (``None`` otherwise).
+
+        ``allocate_mshr=False`` marks fills that carry no outstanding miss
+        (dirty-victim writebacks between levels): they install data that is
+        already on chip and must not occupy a miss register.  ``now`` is the
+        cycle the triggering miss issued; it lets the peak-occupancy
+        telemetry retire completed entries before measuring (without it the
+        lazily-pruned map size is used, an upper bound).
+        """
         block = address // self._block_bytes
         index = block % self._num_sets
         tag = block // self._num_sets
         cache_set = self._sets[index]
+        stats = self.stats
         if from_prefetch:
-            self.stats.prefetches_issued += 1
+            stats.prefetches_issued += 1
+        mshr = self._mshr
+        if mshr is not None and allocate_mshr:
+            if mshr.allocate(block, fill_time):
+                stats.mshr_allocations += 1
+                # Only measure when the lazy size exceeds the recorded peak
+                # (the retire scan is then amortised over genuine highs).
+                if len(mshr) > stats.mshr_peak_occupancy:
+                    occupancy = (
+                        mshr.occupancy(now) if now is not None else len(mshr)
+                    )
+                    if occupancy > stats.mshr_peak_occupancy:
+                        stats.mshr_peak_occupancy = occupancy
+            else:
+                stats.mshr_coalesced += 1
         line = cache_set.get(tag)
         if line is not None:
             # Keep the earliest availability time; refresh prefetch marking.
@@ -179,9 +353,34 @@ class Cache:
     def invalidate_all(self) -> None:
         """Drop every line (used when rebooting the look-ahead thread core)."""
         self._sets = [dict() for _ in range(self.config.num_sets)]
+        if self._mshr is not None:
+            self._mshr.drain()
+
+    # -- MSHR helpers ------------------------------------------------------
+    def mshr_available(self, now: float) -> bool:
+        """Whether a prefetch could allocate an MSHR entry at cycle ``now``.
+
+        Demand misses stall for a free entry; prefetches are speculative and
+        are dropped instead (the caller checks this before issuing).
+        """
+        mshr = self._mshr
+        return mshr is None or mshr.available(now)
+
+    def mshr_occupancy(self, now: float) -> int:
+        """In-flight misses at cycle ``now`` (0 when unbounded)."""
+        return 0 if self._mshr is None else self._mshr.occupancy(now)
+
+    def drain_mshrs(self) -> None:
+        """Quiesce the file: used at simulated-clock-domain boundaries
+        (end of cache warmup, look-ahead/main-thread pass handoffs) where
+        access timestamps restart and stale arrival times would otherwise
+        alias into the new time base."""
+        if self._mshr is not None:
+            self._mshr.drain()
+        self.last_miss_stall = 0.0
 
     # -- state snapshot (warm-memory memoization) --------------------------
-    def snapshot_state(self) -> Tuple[list, dict]:
+    def snapshot_state(self) -> Tuple[list, dict, Optional[dict]]:
         """An immutable-by-convention copy of all mutable cache state.
 
         Used by the warmed-memory memo (:mod:`repro.core.system`): the state
@@ -194,17 +393,20 @@ class Cache:
              for tag, line in cache_set.items()}
             for cache_set in self._sets
         ]
-        return sets, dict(vars(self.stats))
+        mshr = self._mshr.snapshot_state() if self._mshr is not None else None
+        return sets, dict(vars(self.stats)), mshr
 
-    def restore_state(self, snapshot: Tuple[list, dict]) -> None:
+    def restore_state(self, snapshot: Tuple[list, dict, Optional[dict]]) -> None:
         """Restore state captured by :meth:`snapshot_state` (same geometry)."""
-        sets, stats = snapshot
+        sets, stats, mshr = snapshot
         self._sets = [
             {tag: _Line(*fields) for tag, fields in cache_set.items()}
             for cache_set in sets
         ]
         for name, value in stats.items():
             setattr(self.stats, name, value)
+        if self._mshr is not None:
+            self._mshr.restore_state(mshr or {})
 
     @property
     def occupancy(self) -> int:

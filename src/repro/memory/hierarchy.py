@@ -17,6 +17,19 @@ class AccessType(enum.Enum):
     STORE = "store"
 
 
+def _mshr_counters(cache: Cache) -> Dict[str, int]:
+    """The MSHR slice of one cache's stats (per-level occupancy telemetry)."""
+    stats = cache.stats
+    return {
+        "stalls": stats.mshr_stalls,
+        "stall_cycles": stats.mshr_stall_cycles,
+        "allocations": stats.mshr_allocations,
+        "coalesced": stats.mshr_coalesced,
+        "peak_occupancy": stats.mshr_peak_occupancy,
+        "prefetches_dropped": stats.prefetches_dropped,
+    }
+
+
 @dataclass(slots=True)
 class AccessResult:
     """Outcome of one demand access through the hierarchy."""
@@ -62,19 +75,51 @@ class SharedMemorySystem:
         ready = self.l3.lookup(address, now, is_write)
         if ready is not None:
             return AccessResult(ready, ready - now, "l3", l1_miss=True, dram_access=False)
-        dram_ready = self.dram.access(address, now + self.config.l3.latency, is_write)
-        writeback = self.l3.fill(address, dram_ready, dirty=is_write)
+        # A full L3 MSHR file delays when the miss can be sent to memory.
+        issue = now + self.l3.last_miss_stall + self.config.l3.latency
+        dram_ready = self.dram.access(address, issue, is_write)
+        writeback = self.l3.fill(address, dram_ready, dirty=is_write, now=now)
         if writeback is not None:
             self.dram.access(writeback, dram_ready, is_write=True)
         return AccessResult(dram_ready, dram_ready - now, "dram", l1_miss=True, dram_access=True)
 
-    def prefetch(self, address: int, now: int) -> int:
-        """Install ``address`` into L3 (if absent); returns its fill time."""
+    def access_for_prefetch(self, address: int, now: int) -> Optional[AccessResult]:
+        """Like :meth:`access`, but for speculative (prefetch) traffic.
+
+        A prefetch that would miss L3 while its MSHR file is full is refused
+        (returns ``None``) *before* any lookup or DRAM work happens: demand
+        misses stall for a free miss register, speculative requests never do
+        — and a refused request must not generate traffic, pop an in-flight
+        demand entry, or count a demand ``mshr_stall``.  With a free file
+        (or an unbounded one) the behaviour is exactly :meth:`access`.
+        """
+        if not self.l3.probe(address) and not self.l3.mshr_available(now):
+            self.l3.stats.prefetches_dropped += 1
+            return None
+        return self.access(address, now)
+
+    def prefetch(self, address: int, now: int) -> Optional[int]:
+        """Install ``address`` into L3 (if absent); returns its fill time.
+
+        Returns ``None`` when the prefetch had to be dropped because the L3
+        MSHR file had no free entry — speculative requests never stall.
+        """
         if self.l3.probe(address):
             return now
+        if not self.l3.mshr_available(now):
+            self.l3.stats.prefetches_dropped += 1
+            return None
         dram_ready = self.dram.access(address, now + self.config.l3.latency)
-        self.l3.fill(address, dram_ready, from_prefetch=True)
+        self.l3.fill(address, dram_ready, from_prefetch=True, now=now)
         return dram_ready
+
+    def drain_mshrs(self) -> None:
+        """Quiesce the L3 MSHR file at a simulated-clock-domain boundary."""
+        self.l3.drain_mshrs()
+
+    def mshr_telemetry(self) -> Dict[str, Dict[str, int]]:
+        """Per-level MSHR counters of the shared system (keyed ``"l3"``)."""
+        return {"l3": _mshr_counters(self.l3)}
 
     # -- state snapshot (warm-memory memoization) --------------------------
     def snapshot_state(self) -> tuple:
@@ -127,15 +172,19 @@ class CoreMemorySystem:
         if ready is not None:
             return AccessResult(ready, ready - now, "l1", l1_miss=False, dram_access=False)
 
-        issue = now + tlb_penalty + l1.config.latency
+        # Each level's MSHR wait (0 with free entries or an unbounded file)
+        # delays when the miss can issue to the next level down.
+        issue = now + tlb_penalty + l1.last_miss_stall + l1.config.latency
         l2_ready = self.l2.lookup(address, issue, is_write)
         if l2_ready is not None:
-            self._fill_l1(l1, address, l2_ready, is_write)
+            self._fill_l1(l1, address, l2_ready, is_write, now)
             return AccessResult(l2_ready, l2_ready - now, "l2", l1_miss=True, dram_access=False)
 
-        shared_result = self.shared.access(address, issue + self.l2.config.latency, is_write)
-        self._fill_l2(address, shared_result.ready_cycle, is_write)
-        self._fill_l1(l1, address, shared_result.ready_cycle, is_write)
+        shared_result = self.shared.access(
+            address, issue + self.l2.last_miss_stall + self.l2.config.latency, is_write
+        )
+        self._fill_l2(address, shared_result.ready_cycle, is_write, now)
+        self._fill_l1(l1, address, shared_result.ready_cycle, is_write, now)
         return AccessResult(
             shared_result.ready_cycle,
             shared_result.ready_cycle - now,
@@ -144,13 +193,17 @@ class CoreMemorySystem:
             dram_access=shared_result.dram_access,
         )
 
-    def _fill_l1(self, l1: Cache, address: int, fill_time: int, dirty: bool) -> None:
-        writeback = l1.fill(address, fill_time, dirty=dirty)
+    def _fill_l1(self, l1: Cache, address: int, fill_time: int, dirty: bool,
+                 now: Optional[float] = None) -> None:
+        writeback = l1.fill(address, fill_time, dirty=dirty, now=now)
         if writeback is not None and not self.lookahead_mode:
-            self.l2.fill(writeback, fill_time, dirty=True)
+            # Victim writebacks carry data that is already on chip: they
+            # never occupy a miss register.
+            self.l2.fill(writeback, fill_time, dirty=True, allocate_mshr=False)
 
-    def _fill_l2(self, address: int, fill_time: int, dirty: bool) -> None:
-        writeback = self.l2.fill(address, fill_time, dirty=dirty)
+    def _fill_l2(self, address: int, fill_time: int, dirty: bool,
+                 now: Optional[float] = None) -> None:
+        writeback = self.l2.fill(address, fill_time, dirty=dirty, now=now)
         if writeback is not None and not self.lookahead_mode:
             # Dirty L2 victims go to the shared system as write traffic.
             self.shared.dram.access(writeback, fill_time, is_write=True)
@@ -158,38 +211,59 @@ class CoreMemorySystem:
     # ------------------------------------------------------------------
     # prefetch path
     # ------------------------------------------------------------------
-    def prefetch(self, address: int, now: int, level: str = "l1") -> int:
+    def prefetch(self, address: int, now: int, level: str = "l1") -> Optional[int]:
         """Prefetch ``address`` into ``level`` ("l1" or "l2"); returns fill time.
 
         Prefetches traverse the hierarchy like demand misses (so they create
         real DRAM traffic and timing), but fill with ``from_prefetch=True`` so
-        usefulness statistics can be collected.
+        usefulness statistics can be collected.  Unlike a demand miss, a
+        prefetch never waits for a miss register: when the target level's
+        MSHR file is full at issue time the request is dropped and ``None``
+        is returned so the issuing prefetcher can account for it.
         """
         if level not in ("l1", "l2"):
             raise ValueError("prefetch level must be 'l1' or 'l2'")
-        if level == "l1" and self.l1d.probe(address):
-            return now
-        if self.l2.probe(address):
-            fill_time = now + self.l2.config.latency
-        else:
-            shared_result = self.shared.access(address, now + self.l2.config.latency)
-            fill_time = shared_result.ready_cycle
-            self.l2.fill(address, fill_time, from_prefetch=True)
         if level == "l1":
-            self.l1d.fill(address, fill_time, from_prefetch=True)
+            return self._prefetch_into_l1(self.l1d, address, now)
+        return self._prefetch_fill_time_from_l2(address, now)
+
+    def prefetch_instruction(self, address: int, now: int) -> Optional[int]:
+        """Prefetch an instruction block into the L1 I-cache (MSHR-gated)."""
+        return self._prefetch_into_l1(self.l1i, address, now)
+
+    def _prefetch_into_l1(self, l1: Cache, address: int, now: int) -> Optional[int]:
+        """MSHR-gated prefetch into one L1 (the D- or I-side cache).
+
+        The install-level gate runs *before* any downstream work: a dropped
+        prefetch must not generate DRAM traffic or allocate lower-level
+        miss registers.
+        """
+        if l1.probe(address):
+            return now
+        if not l1.mshr_available(now):
+            l1.stats.prefetches_dropped += 1
+            return None
+        fill_time = self._prefetch_fill_time_from_l2(address, now)
+        if fill_time is None:
+            return None
+        l1.fill(address, fill_time, from_prefetch=True, now=now)
         return fill_time
 
-    def prefetch_instruction(self, address: int, now: int) -> int:
-        """Prefetch an instruction block into the L1 I-cache."""
-        if self.l1i.probe(address):
-            return now
+    def _prefetch_fill_time_from_l2(self, address: int, now: int) -> Optional[int]:
+        """When a prefetch's block is ready at L2 (refilling L2 first, MSHR-
+        gated, when absent); ``None`` when any level refused the request."""
         if self.l2.probe(address):
-            fill_time = now + self.l2.config.latency
-        else:
-            shared_result = self.shared.access(address, now + self.l2.config.latency)
-            fill_time = shared_result.ready_cycle
-            self.l2.fill(address, fill_time, from_prefetch=True)
-        self.l1i.fill(address, fill_time, from_prefetch=True)
+            return now + self.l2.config.latency
+        if not self.l2.mshr_available(now):
+            self.l2.stats.prefetches_dropped += 1
+            return None
+        shared_result = self.shared.access_for_prefetch(
+            address, now + self.l2.config.latency
+        )
+        if shared_result is None:   # refused at L3 (file full)
+            return None
+        fill_time = shared_result.ready_cycle
+        self.l2.fill(address, fill_time, from_prefetch=True, now=now)
         return fill_time
 
     def prefill_tlb(self, address: int, now: int) -> None:
@@ -212,6 +286,21 @@ class CoreMemorySystem:
         self.l1d.restore_state(l1d_state)
         self.l2.restore_state(l2_state)
         self.tlb.restore_state(tlb_state)
+
+    # ------------------------------------------------------------------
+    def drain_mshrs(self) -> None:
+        """Quiesce every private level's MSHR file (clock-domain boundary)."""
+        self.l1i.drain_mshrs()
+        self.l1d.drain_mshrs()
+        self.l2.drain_mshrs()
+
+    def mshr_telemetry(self) -> Dict[str, Dict[str, int]]:
+        """Per-level MSHR counters of the private levels."""
+        return {
+            "l1i": _mshr_counters(self.l1i),
+            "l1d": _mshr_counters(self.l1d),
+            "l2": _mshr_counters(self.l2),
+        }
 
     # ------------------------------------------------------------------
     def l1d_misses(self) -> int:

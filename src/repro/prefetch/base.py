@@ -44,6 +44,16 @@ class Prefetcher:
     def reset(self) -> None:
         """Clear all internal state (e.g. between simulation windows)."""
 
+    def notify_drop(self, request: PrefetchRequest) -> None:
+        """The memory system dropped ``request`` (no free MSHR entry).
+
+        Prefetches never stall for a miss register the way demand misses do;
+        a full file at issue time simply loses the request.  This default is
+        a pure no-op hook (drop *counts* live on the guarded cache's
+        ``CacheStats.prefetches_dropped``); stateful prefetchers may
+        override it to track lost coverage or re-queue the block.
+        """
+
 
 class NullPrefetcher(Prefetcher):
     """A prefetcher that never prefetches (the ``noPF`` configurations)."""

@@ -153,7 +153,9 @@ def test_status_not_complete_after_mode_change(cache_dir, tmp_path):
     assert store.status()["state"] == "partial"       # quick result is stale
 
 
-def test_run_campaign_by_name_smoke(cache_dir, tmp_path):
+def test_run_campaign_by_name_smoke(cache_dir, tmp_path, monkeypatch):
+    # Pin the rotating smoke figure so the cell count is deterministic.
+    monkeypatch.setenv("REPRO_SMOKE_FIGURE", "fig09")
     store = CampaignStore("smoke", tmp_path / "campaigns")
     summary = run_campaign("smoke", store=store, bench_report=False)
     assert summary["cells_total"] == 12

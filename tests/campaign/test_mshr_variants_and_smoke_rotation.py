@@ -1,0 +1,176 @@
+"""MSHR sweep variants/campaigns and the rotating CI smoke figure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.registry import (
+    SMOKE_FIGURE_ENV,
+    SMOKE_ROTATION,
+    get_campaign,
+    list_campaigns,
+    smoke_figure,
+)
+from repro.campaign.spec import ConfigVariant, SpecError
+from repro.core.config import SystemConfig
+from repro.experiments.fingerprint import fingerprint
+
+
+# ---------------------------------------------------------------------------
+# ConfigVariant.mshr_entries
+# ---------------------------------------------------------------------------
+def test_mshr_variant_materialises_uniform_file_capacity():
+    base = SystemConfig()
+    config = ConfigVariant(name="bl-mshr-8", mshr_entries=8).system_config(base)
+    for level in (config.memory.l1i, config.memory.l1d,
+                  config.memory.l2, config.memory.l3):
+        assert level.mshr_entries == 8
+    # The declarative spelling and the imperative helper must alias to one
+    # fingerprint-keyed cache slot.
+    assert fingerprint(config) == fingerprint(base.with_mshr_entries(8))
+
+
+def test_mshr_variant_zero_means_unbounded():
+    base = SystemConfig()
+    config = ConfigVariant(name="bl-mshr-inf", mshr_entries=0).system_config(base)
+    for level in (config.memory.l1i, config.memory.l1d,
+                  config.memory.l2, config.memory.l3):
+        assert level.mshr_entries is None
+    assert fingerprint(config) == fingerprint(base.with_mshr_entries(None))
+
+
+def test_mshr_variant_default_stays_none_config():
+    assert ConfigVariant(name="bl").system_config(SystemConfig()) is None
+
+
+def test_mshr_variant_validation_and_round_trip():
+    with pytest.raises(SpecError):
+        ConfigVariant(name="bad", mshr_entries=-1).validate()
+    # bool subclasses int: a JSON typo like true/false must not validate.
+    with pytest.raises(SpecError):
+        ConfigVariant(name="bad", mshr_entries=True).validate()
+    variant = ConfigVariant(name="r3-mshr-4", kind="dla", dla_preset="r3",
+                            mshr_entries=4)
+    assert ConfigVariant.from_dict(variant.to_dict()) == variant
+
+
+# ---------------------------------------------------------------------------
+# mshr:* campaigns
+# ---------------------------------------------------------------------------
+def test_mshr_scenario_campaigns_registered():
+    names = {spec.name for spec in list_campaigns()}
+    assert "mshr-sweep" in names
+    mshr_campaigns = {name for name in names if name.startswith("mshr:")}
+    assert mshr_campaigns, "expected mshr:<scenario> campaigns"
+    spec = get_campaign(sorted(mshr_campaigns)[0])
+    assert spec.experiment == "repro.experiments.mshr_sweep"
+    # 2 machines x 5 settings, including the unbounded reference.
+    assert len(spec.variants) == 10
+    assert any(v.mshr_entries == 0 for v in spec.variants)
+    assert any(v.mshr_entries == 4 for v in spec.variants)
+    spec.validate()
+
+
+# ---------------------------------------------------------------------------
+# smoke rotation
+# ---------------------------------------------------------------------------
+def test_smoke_figure_rotates_daily(monkeypatch):
+    monkeypatch.delenv(SMOKE_FIGURE_ENV, raising=False)
+    figures = {smoke_figure(day_of_year=day)
+               for day in range(len(SMOKE_ROTATION))}
+    assert figures == set(SMOKE_ROTATION)
+    # Deterministic for a given day.
+    assert smoke_figure(day_of_year=3) == smoke_figure(day_of_year=3)
+
+
+def test_smoke_figure_env_override(monkeypatch):
+    monkeypatch.setenv(SMOKE_FIGURE_ENV, "table03")
+    assert smoke_figure(day_of_year=0) == "table03"
+    spec = get_campaign("smoke")
+    assert spec.experiment == "repro.experiments.table03_mpki"
+    spec.validate()
+    monkeypatch.setenv(SMOKE_FIGURE_ENV, "not-a-figure")
+    with pytest.raises(SpecError):
+        smoke_figure()
+
+
+def test_user_registered_smoke_spec_is_not_clobbered(monkeypatch):
+    """The daily refresh only re-materialises the *builtin* smoke spec; a
+    replacement registered through the public API must stick."""
+    import repro.campaign.registry as registry
+    from repro.campaign.spec import CampaignSpec
+
+    custom = CampaignSpec(
+        name="smoke",
+        title="Custom smoke",
+        experiment="repro.experiments.fig09_speedup",
+        workloads=("libquantum",),
+        warmup_instructions=500,
+        timed_instructions=500,
+    )
+    was_builtin = registry._SMOKE_IS_BUILTIN
+    previous = registry._REGISTRY.get("smoke")
+    try:
+        registry.register(custom, replace=True)
+        assert get_campaign("smoke") is custom
+        assert any(spec is custom for spec in list_campaigns())
+    finally:
+        if previous is not None:
+            registry._REGISTRY["smoke"] = previous
+        registry._SMOKE_IS_BUILTIN = was_builtin
+
+
+def test_every_rotated_smoke_spec_validates(monkeypatch):
+    """Each rotation target must produce a valid, runnable smoke spec whose
+    variants come from the rotated figure's own campaign."""
+    import importlib
+
+    for figure in SMOKE_ROTATION:
+        monkeypatch.setenv(SMOKE_FIGURE_ENV, figure)
+        spec = get_campaign("smoke")
+        assert figure in spec.title
+        spec.validate()
+        module = importlib.import_module(spec.experiment)
+        assert callable(getattr(module, "run"))
+        figure_spec = getattr(module, "CAMPAIGN")
+        assert spec.variants == figure_spec.variants
+
+
+def test_unchanged_figure_keeps_the_same_spec_object(monkeypatch):
+    monkeypatch.setenv(SMOKE_FIGURE_ENV, "fig09")
+    assert get_campaign("smoke") is get_campaign("smoke")
+
+
+@pytest.mark.parametrize("figure", SMOKE_ROTATION)
+def test_every_rotated_figure_runs_end_to_end_at_smoke_shape(figure, monkeypatch):
+    """The rotation contract ("every entry must run end-to-end with two
+    workloads and 1.5k+1.5k windows") is executed, not just validated —
+    otherwise a figure-specific regression would only surface in CI on that
+    figure's rotation day."""
+    import importlib
+
+    monkeypatch.setenv(SMOKE_FIGURE_ENV, figure)
+    spec = get_campaign("smoke")
+    runner = _smoke_shape_runner()
+    module = importlib.import_module(spec.experiment)
+    result = module.run(runner)
+    assert result.render()
+    tables = module.artifact_tables(result)
+    assert tables and all(rows for rows in tables.values())
+
+
+_SMOKE_RUNNER = None
+
+
+def _smoke_shape_runner():
+    """One runner shared by the rotation tests (its caches make the five
+    figure runs overlap heavily — e.g. fig09/fig10 reuse the same cells)."""
+    global _SMOKE_RUNNER
+    if _SMOKE_RUNNER is None:
+        from repro.experiments.runner import ExperimentRunner
+
+        _SMOKE_RUNNER = ExperimentRunner(
+            quick=True, workload_names=["libquantum", "mcf"],
+            warmup_instructions=1500, timed_instructions=1500,
+        )
+    return _SMOKE_RUNNER

@@ -3,10 +3,21 @@
 The decoded-trace fast path (plain-attribute instruction metadata, int FU
 pool codes, heap-based unit scheduling) is a pure performance change: every
 simulation statistic must stay *bit-identical* to what the enum-property
-implementation produced.  ``tests/data/golden_equivalence.json`` holds the
-reference outputs captured from the original object-path implementation for
-three small kernels under BL, DLA and R3-DLA configurations; these tests
-assert exact equality — no tolerances.
+implementation produced.  ``tests/data/golden_equivalence.json`` holds
+reference outputs for three small kernels under BL, DLA and R3-DLA
+configurations, in two sections:
+
+* ``"default"`` — the stock :class:`SystemConfig` (bounded MSHR files, the
+  shipping timing model);
+* ``"unbounded"`` — every MSHR file unbounded, which makes the MSHR model
+  inert.  This section's values are the original object-path capture from
+  before the MSHR model existed: their continued equality proves the model
+  is the *only* source of timing divergence.
+
+These tests assert exact equality — no tolerances.  The golden file is
+regenerated deliberately (never by hand-editing) with
+``tools/regen_golden.py``, which reuses :func:`capture_golden` below so the
+tool and the tests can never drift.
 """
 
 from __future__ import annotations
@@ -48,6 +59,14 @@ KERNELS = {
 }
 WARMUP, TIMED = 2000, 4000
 
+#: Golden sections: section name -> simulation SystemConfig factory.  The
+#: training profile is always built from the stock config (matching the
+#: original capture); only the simulated machine varies.
+SYSTEM_PROFILES = {
+    "default": lambda: SystemConfig(),
+    "unbounded": lambda: SystemConfig().with_mshr_entries(None),
+}
+
 
 def _core_fields(core):
     return {
@@ -67,14 +86,38 @@ def _core_fields(core):
     }
 
 
-@pytest.fixture(scope="module")
-def golden():
-    return json.loads(GOLDEN_PATH.read_text())
+def capture_baseline(timed, warmup, config):
+    """The compared field-dict of one baseline simulation."""
+    outcome = simulate_baseline(timed, config, warmup_entries=warmup)
+    return {
+        **_core_fields(outcome.core),
+        "energy_total": outcome.energy.total,
+        "memory_traffic": outcome.memory_traffic,
+        "dram_energy": outcome.dram_energy,
+    }
 
 
-@pytest.fixture(scope="module")
-def prepared():
-    """Program, trace windows and profile per kernel (built once)."""
+def capture_dla(program, timed, warmup, profile, config, dla_config):
+    """The compared field-dict of one DLA co-simulation."""
+    system = DlaSystem(program, config, dla_config, profile=profile)
+    outcome = system.simulate(timed, warmup_entries=warmup)
+    return {
+        "main": _core_fields(outcome.main),
+        "lookahead": _core_fields(outcome.lookahead),
+        "skeleton_dynamic_fraction": outcome.skeleton_dynamic_fraction,
+        "reboots": outcome.reboots,
+        "boq_incorrect": outcome.boq_incorrect,
+        "prefetch_hints_installed": outcome.prefetch_hints_installed,
+        "communication_bits_per_instruction": outcome.communication_bits_per_instruction,
+        "validations_skipped": outcome.validations_skipped,
+        "memory_traffic": outcome.memory_traffic,
+        "dram_energy": outcome.dram_energy,
+        "cpu_energy": outcome.cpu_energy,
+    }
+
+
+def prepare_kernels():
+    """Programs, trace windows and profiles, exactly as the golden capture."""
     out = {}
     for name, (kind, kwargs, seed) in KERNELS.items():
         program = build_kernel(kind, rng=DeterministicRng(seed),
@@ -91,6 +134,40 @@ def prepared():
             config,
         )
     return out
+
+
+def capture_golden(prepared=None):
+    """The full golden structure ({section: {kernel: {bl, dla, r3}}}).
+
+    ``tools/regen_golden.py`` calls this to regenerate the data file; the
+    tests below compare the stored file against the same captures.
+    """
+    prepared = prepared or prepare_kernels()
+    golden = {}
+    for section, config_factory in SYSTEM_PROFILES.items():
+        config = config_factory()
+        by_kernel = {}
+        for kernel, (program, warmup, timed, profile, _) in prepared.items():
+            by_kernel[kernel] = {
+                "bl": capture_baseline(timed, warmup, config),
+                "dla": capture_dla(program, timed, warmup, profile, config,
+                                   DlaConfig().baseline_dla()),
+                "r3": capture_dla(program, timed, warmup, profile, config,
+                                  DlaConfig().r3()),
+            }
+        golden[section] = by_kernel
+    return golden
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """Program, trace windows and profile per kernel (built once)."""
+    return prepare_kernels()
 
 
 # ---------------------------------------------------------------------------
@@ -124,39 +201,50 @@ def test_opcode_meta_table_is_total():
 # ---------------------------------------------------------------------------
 # whole-system equivalence against the captured object-path reference
 # ---------------------------------------------------------------------------
+@pytest.mark.parametrize("section", sorted(SYSTEM_PROFILES))
 @pytest.mark.parametrize("kernel", sorted(KERNELS))
-def test_baseline_outputs_bit_identical(golden, prepared, kernel):
-    program, warmup, timed, profile, config = prepared[kernel]
-    outcome = simulate_baseline(timed, config, warmup_entries=warmup)
-    expected = golden[kernel]["bl"]
-    actual = {
-        **_core_fields(outcome.core),
-        "energy_total": outcome.energy.total,
-        "memory_traffic": outcome.memory_traffic,
-        "dram_energy": outcome.dram_energy,
-    }
-    assert actual == expected
+def test_baseline_outputs_bit_identical(golden, prepared, section, kernel):
+    program, warmup, timed, profile, _ = prepared[kernel]
+    config = SYSTEM_PROFILES[section]()
+    actual = capture_baseline(timed, warmup, config)
+    assert actual == golden[section][kernel]["bl"]
 
 
+@pytest.mark.parametrize("section", sorted(SYSTEM_PROFILES))
 @pytest.mark.parametrize("kernel", sorted(KERNELS))
 @pytest.mark.parametrize("config_name", ["dla", "r3"])
-def test_dla_outputs_bit_identical(golden, prepared, kernel, config_name):
-    program, warmup, timed, profile, config = prepared[kernel]
+def test_dla_outputs_bit_identical(golden, prepared, section, kernel, config_name):
+    program, warmup, timed, profile, _ = prepared[kernel]
+    config = SYSTEM_PROFILES[section]()
     dla_config = DlaConfig().baseline_dla() if config_name == "dla" else DlaConfig().r3()
-    system = DlaSystem(program, config, dla_config, profile=profile)
-    outcome = system.simulate(timed, warmup_entries=warmup)
-    expected = golden[kernel][config_name]
-    actual = {
-        "main": _core_fields(outcome.main),
-        "lookahead": _core_fields(outcome.lookahead),
-        "skeleton_dynamic_fraction": outcome.skeleton_dynamic_fraction,
-        "reboots": outcome.reboots,
-        "boq_incorrect": outcome.boq_incorrect,
-        "prefetch_hints_installed": outcome.prefetch_hints_installed,
-        "communication_bits_per_instruction": outcome.communication_bits_per_instruction,
-        "validations_skipped": outcome.validations_skipped,
-        "memory_traffic": outcome.memory_traffic,
-        "dram_energy": outcome.dram_energy,
-        "cpu_energy": outcome.cpu_energy,
-    }
-    assert actual == expected
+    actual = capture_dla(program, timed, warmup, profile, config, dla_config)
+    assert actual == golden[section][kernel][config_name]
+
+
+#: SHA-256 of the canonical-JSON "unbounded" section.  This is the digest of
+#: the original pre-MSHR-model object-path capture; because the regen tool
+#: rewrites the whole data file, this pinned constant is what actually
+#: enforces "unbounded MSHRs reproduce the pre-model machine bit-for-bit".
+#: It may only change together with a deliberate change to the capture
+#: itself (kernels, windows, compared fields) — never because of the MSHR
+#: model's timing.
+UNBOUNDED_SECTION_SHA256 = (
+    "ce2b5b33f1ea7bd6337f873760be8c8d808c8e7078967cb46eacdb5148ccb42b"
+)
+
+
+def test_unbounded_section_pinned_to_pre_mshr_capture(golden):
+    """The unbounded section must equal the pre-MSHR-model object-path
+    capture: identical values in both sections would also be fine (the tiny
+    golden kernels never fill a 32-entry file), but the *unbounded* section
+    is the one contractually pinned — a regen that moves it means the MSHR
+    model leaked timing into the unbounded path."""
+    import hashlib
+
+    assert set(golden) == set(SYSTEM_PROFILES)
+    for section in golden:
+        assert set(golden[section]) == set(KERNELS)
+    digest = hashlib.sha256(
+        json.dumps(golden["unbounded"], sort_keys=True).encode()
+    ).hexdigest()
+    assert digest == UNBOUNDED_SECTION_SHA256

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/data/golden_equivalence.json`` in one auditable step.
+
+The golden file pins simulation outputs bit-for-bit, so it must only ever
+change deliberately — when a modelling change (e.g. the MSHR occupancy model)
+is *supposed* to move the numbers.  This tool is the single sanctioned way to
+do that: it re-runs the exact capture the equivalence tests compare against
+(it imports ``capture_golden`` from the test module itself, so tool and tests
+cannot drift) and rewrites the data file.
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_golden.py            # regenerate
+    PYTHONPATH=src python tools/regen_golden.py --check    # diff only, rc=1 on drift
+
+Commit the regenerated file in its own commit, with a message saying which
+modelling change motivated it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "golden_equivalence.json"
+TEST_MODULE = REPO_ROOT / "tests" / "core" / "test_fast_path_equivalence.py"
+
+
+def _load_capture():
+    """Import ``capture_golden`` from the equivalence test module by path."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    spec = importlib.util.spec_from_file_location("golden_capture", TEST_MODULE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.capture_golden
+
+
+def _diff(old: dict, new: dict, path: str = "") -> list:
+    """Human-readable leaf-level differences between two golden structures."""
+    lines = []
+    for key in sorted(set(old) | set(new)):
+        here = f"{path}/{key}" if path else str(key)
+        if key not in old:
+            lines.append(f"+ {here} (new)")
+        elif key not in new:
+            lines.append(f"- {here} (removed)")
+        elif isinstance(old[key], dict) and isinstance(new[key], dict):
+            lines.extend(_diff(old[key], new[key], here))
+        elif old[key] != new[key]:
+            lines.append(f"~ {here}: {old[key]} -> {new[key]}")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the stored file without writing; "
+                             "exit 1 if they differ")
+    args = parser.parse_args(argv)
+
+    capture_golden = _load_capture()
+    print("capturing golden outputs (3 kernels x {BL, DLA, R3} x "
+          "{default, unbounded MSHRs})...", flush=True)
+    golden = capture_golden()
+
+    stored = (
+        json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+    )
+    changes = _diff(stored, golden)
+    if not changes:
+        print(f"{GOLDEN_PATH.relative_to(REPO_ROOT)}: already up to date")
+        return 0
+    for line in changes:
+        print(line)
+    if args.check:
+        print(f"{len(changes)} difference(s); not writing (--check)")
+        return 1
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH.relative_to(REPO_ROOT)} ({len(changes)} change(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
