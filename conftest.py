@@ -1,0 +1,48 @@
+"""Repo-root pytest configuration: deterministic test sharding.
+
+``python -m pytest --shard i/N`` (or ``REPRO_TEST_SHARD=i/N``) runs only the
+i-th round-robin slice of the sorted collected node ids.  The partition is
+the project-wide one from :mod:`repro.util.sharding` — the same function the
+campaign CLI's ``repro run --shard`` uses — so across ``i = 0..N-1`` the
+shards are disjoint and exhaustive by construction, which is what lets the
+CI matrix split the suite across jobs without a test-splitting plugin.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+# The project imports from src/ (tier-1 sets PYTHONPATH=src); make the bare
+# `python -m pytest` invocation work too.
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+SHARD_ENV = "REPRO_TEST_SHARD"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only shard I of N of the collected tests (round-robin "
+             f"over sorted node ids; env fallback: {SHARD_ENV})",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    spec = config.getoption("--shard") or os.environ.get(SHARD_ENV)
+    if not spec:
+        return
+    from repro.util.sharding import parse_shard, partition
+
+    index, count = parse_shard(spec)
+    members = set(partition([item.nodeid for item in items], index, count))
+    selected = [item for item in items if item.nodeid in members]
+    deselected = [item for item in items if item.nodeid not in members]
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected

@@ -5,8 +5,11 @@ Subcommands::
     repro list [--tag TAG]               # every runnable campaign
     repro run NAME... [--quick|--full]   # execute campaigns (resumable)
     repro run --smoke                    # the CI-sized smoke campaign
+    repro run NAME --shard I/N           # static shard of the cell matrix
+    repro run NAME --worker              # lease-driven dynamic claiming
+    repro merge NAME...                  # assemble + render once cells land
     repro render NAME... [--out DIR]     # stored results -> CSV/MD/JSON
-    repro status [NAME...]               # cell-level progress per campaign
+    repro status [NAME...] [--json]      # cell-level progress per campaign
     repro clean NAME... | --all          # drop campaign bookkeeping
 
 ``run`` is resumable by construction: every simulation persists in the
@@ -14,6 +17,15 @@ fingerprint-keyed disk cache the moment it finishes, so a rerun after an
 interrupt re-simulates nothing that already completed.  Campaign manifests
 and results live under ``.repro_cache/campaigns/``; rendered artifacts are
 written under ``artifacts/<campaign>/`` by default.
+
+Sharded execution splits one campaign across processes or hosts sharing a
+cache directory (or syncing it, as the CI matrix does via artifacts):
+``--shard i/N`` statically owns a deterministic slice of the cell matrix,
+``--worker`` dynamically claims cells through TTL'd store leases (crashed
+workers' cells are reclaimed after expiry), and ``merge`` assembles the
+final artifacts once every cell is in the cache — bit-identical to a
+single-host run.  ``status --json`` gives orchestrators machine-readable
+done/leased/pending counts.
 """
 
 from __future__ import annotations
@@ -26,9 +38,21 @@ from typing import List, Optional
 
 from repro.campaign.registry import get_campaign, list_campaigns, register
 from repro.campaign.render import RenderError, render_campaign
-from repro.campaign.scheduler import run_campaign
+from repro.campaign.scheduler import (
+    CampaignIncomplete, CampaignScheduler, ShardedExecutionError, run_campaign,
+)
 from repro.campaign.spec import CampaignSpec, SpecError
-from repro.campaign.store import CampaignStore, campaigns_root
+from repro.campaign.store import (
+    DEFAULT_LEASE_TTL, CampaignStore, campaigns_root,
+)
+from repro.util.sharding import ShardError, parse_shard
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {text})")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +87,49 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip writing artifacts after the run")
     p_run.add_argument("--out", default=None, metavar="DIR",
                        help="artifacts directory (default: artifacts/)")
+    shard_mode = p_run.add_mutually_exclusive_group()
+    shard_mode.add_argument("--shard", metavar="I/N", default=None,
+                            help="simulate only static shard I of N "
+                                 "(deterministic partition; finish with "
+                                 "`repro merge`)")
+    shard_mode.add_argument("--worker", action="store_true",
+                            help="lease-driven worker: dynamically claim "
+                                 "unfinished cells until the campaign "
+                                 "completes")
+    p_run.add_argument("--owner", default=None, metavar="ID",
+                       help="worker identity for lease stamping "
+                            "(default: <host>-<pid>)")
+    p_run.add_argument("--ttl", type=float, default=DEFAULT_LEASE_TTL,
+                       metavar="SECONDS",
+                       help="lease time-to-live; a crashed worker's cells "
+                            "are reclaimed after this long "
+                            f"(default: {DEFAULT_LEASE_TTL:g})")
+    p_run.add_argument("--poll", type=float, default=2.0, metavar="SECONDS",
+                       help="worker poll interval while other workers hold "
+                            "the remaining leases (default: 2)")
+    p_run.add_argument("--batch", type=_positive_int, default=4,
+                       metavar="CELLS",
+                       help="cells a worker claims per lease batch "
+                            "(default: 4)")
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="assemble + render artifacts once every cell has landed "
+             "(fan-in for sharded runs; simulates nothing)",
+    )
+    p_merge.add_argument("campaigns", nargs="*", metavar="NAME")
+    p_merge.add_argument("--spec", metavar="FILE",
+                         help="register campaign spec(s) from a JSON file "
+                              "first (required in a fresh process when the "
+                              "sharded run used --spec)")
+    merge_mode = p_merge.add_mutually_exclusive_group()
+    merge_mode.add_argument("--quick", action="store_true",
+                            help="merge the quick-mode matrix (default)")
+    merge_mode.add_argument("--full", action="store_true",
+                            help="merge the full-mode matrix")
+    p_merge.add_argument("--out", default=None, metavar="DIR")
+    p_merge.add_argument("--no-render", action="store_true",
+                         help="assemble the stored result but skip artifacts")
 
     p_render = sub.add_parser("render", help="render stored results")
     p_render.add_argument("campaigns", nargs="+", metavar="NAME")
@@ -70,6 +137,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_status = sub.add_parser("status", help="campaign progress")
     p_status.add_argument("campaigns", nargs="*", metavar="NAME")
+    p_status.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable status (cell counts: "
+                               "done/leased/pending) for CI and dispatchers")
 
     p_clean = sub.add_parser("clean", help="drop campaign bookkeeping "
                                            "(simulation cache is untouched)")
@@ -101,8 +171,7 @@ def _load_spec_file(path: str) -> List[CampaignSpec]:
     return specs
 
 
-def _cmd_run(args) -> int:
-    quick = not args.full
+def _run_names(args) -> Optional[List[str]]:
     names = list(args.campaigns)
     if args.spec:
         loaded = _load_spec_file(args.spec)
@@ -110,10 +179,19 @@ def _cmd_run(args) -> int:
             names = [spec.name for spec in loaded]
     if args.smoke:
         names.append("smoke")
+    return names
+
+
+def _cmd_run(args) -> int:
+    quick = not args.full
+    names = _run_names(args)
     if not names:
         print("nothing to run: name at least one campaign, or use --smoke",
               file=sys.stderr)
         return 2
+    shard = None
+    if args.shard is not None:
+        shard = parse_shard(args.shard)
     for name in names:
         spec = get_campaign(name)
         if spec is None:
@@ -122,8 +200,60 @@ def _cmd_run(args) -> int:
         store = CampaignStore(spec.name)
         if args.force:
             store.clear()
+        if shard is not None:
+            scheduler = CampaignScheduler(
+                spec, quick=quick, processes=args.processes, store=store,
+                progress=print, bench_report=False,
+            )
+            scheduler.run_shard(*shard)
+            # No artifacts from a shard run: rendering is `repro merge`'s
+            # job once every shard has landed.
+            continue
+        if args.worker:
+            scheduler = CampaignScheduler(
+                spec, quick=quick, processes=args.processes, store=store,
+                progress=print, bench_report=False,
+            )
+            summary = scheduler.run_worker(
+                owner=args.owner, ttl=args.ttl, batch_size=args.batch,
+                poll_seconds=args.poll,
+            )
+            if summary.get("finalized") and not args.no_render:
+                for path in render_campaign(spec.name, store=store,
+                                            out_dir=args.out):
+                    print(f"[{spec.name}] wrote {path}")
+            continue
         run_campaign(spec, quick=quick, processes=args.processes,
                      store=store, progress=print)
+        if not args.no_render:
+            for path in render_campaign(spec.name, store=store, out_dir=args.out):
+                print(f"[{spec.name}] wrote {path}")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    quick = not args.full
+    names = list(args.campaigns)
+    if args.spec:
+        loaded = _load_spec_file(args.spec)
+        if not names:
+            names = [spec.name for spec in loaded]
+    if not names:
+        print("nothing to merge: name at least one campaign", file=sys.stderr)
+        return 2
+    for name in names:
+        spec = get_campaign(name)
+        if spec is None:
+            print(f"unknown campaign {name!r} (try `repro list`)", file=sys.stderr)
+            return 2
+        store = CampaignStore(spec.name)
+        scheduler = CampaignScheduler(spec, quick=quick, store=store,
+                                      progress=print, bench_report=False)
+        try:
+            scheduler.finalize()
+        except CampaignIncomplete as error:
+            print(str(error), file=sys.stderr)
+            return 1
         if not args.no_render:
             for path in render_campaign(spec.name, store=store, out_dir=args.out):
                 print(f"[{spec.name}] wrote {path}")
@@ -151,17 +281,29 @@ def _known_store_names() -> List[str]:
 def _cmd_status(args) -> int:
     names = list(args.campaigns) or _known_store_names()
     if not names:
-        print("no campaigns have been run yet")
+        if args.as_json:
+            print("{}")
+        else:
+            print("no campaigns have been run yet")
+        return 0
+    if args.as_json:
+        print(json.dumps(
+            {name: CampaignStore(name).status() for name in names},
+            indent=2, sort_keys=True,
+        ))
         return 0
     for name in names:
         status = CampaignStore(name).status()
         if status.get("state") == "never run":
             print(f"{name}: never run")
             continue
+        leased = status.get("cells_leased", 0)
+        lease_note = f", {leased} leased" if leased else ""
         print(
             f"{name}: {status['state']} ({status.get('mode')}); "
-            f"cells {status.get('cells_cached', 0)}/{status.get('cells_planned', 0)} "
-            f"cached; updated {status.get('updated_at')}"
+            f"cells {status.get('cells_done', 0)}/{status.get('cells_planned', 0)} "
+            f"done{lease_note}, {status.get('cells_pending', 0)} pending; "
+            f"updated {status.get('updated_at')}"
         )
     return 0
 
@@ -187,14 +329,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         if args.command == "render":
             return _cmd_render(args)
         if args.command == "status":
             return _cmd_status(args)
         if args.command == "clean":
             return _cmd_clean(args)
-    except SpecError as error:
+    except (SpecError, ShardError) as error:
         print(f"spec error: {error}", file=sys.stderr)
+        return 2
+    except ShardedExecutionError as error:
+        print(str(error), file=sys.stderr)
         return 2
     except KeyboardInterrupt:
         print("\ninterrupted — rerun to resume (finished cells are cached)",

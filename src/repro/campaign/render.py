@@ -9,7 +9,14 @@ Renderers read the campaign store (they never simulate) and write under
   module's rendered text **verbatim**, so the Markdown artifact shows
   bit-for-bit the numbers a direct ``python -m repro.experiments.<module>``
   run prints;
-* ``<campaign>.json`` — the full structured payload for downstream tooling.
+* ``<campaign>.json`` — the structured payload for downstream tooling.
+
+Artifacts are **deterministic**: volatile run metadata (timestamps, wall
+times, simulated-vs-cached counters) stays in the campaign store's
+``result.json`` and never reaches the rendered files.  That is what lets a
+sharded run (``repro run --shard``/``--worker`` + ``repro merge``) produce
+artifacts byte-identical to a single-host ``repro run`` — and lets CI diff
+them.  Run provenance is available via ``repro status --json``.
 """
 
 from __future__ import annotations
@@ -56,22 +63,40 @@ def write_csv(path: Path, rows: Sequence[Mapping[str, object]]) -> Path:
     return path
 
 
+#: Result keys that vary run-to-run (timestamps, wall times, hit counters).
+#: They stay in the store's ``result.json``; rendered artifacts exclude them
+#: so single-host and sharded executions produce byte-identical files.
+VOLATILE_RESULT_KEYS = ("generated_at", "run")
+
+
+def deterministic_result(result: Mapping[str, object]) -> Dict[str, object]:
+    """``result`` without its volatile (run-provenance) keys."""
+    return {
+        key: value for key, value in result.items()
+        if key not in VOLATILE_RESULT_KEYS
+    }
+
+
 def render_markdown(result: Mapping[str, object]) -> str:
-    """The Markdown artifact body for one stored campaign result."""
+    """The Markdown artifact body for one stored campaign result.
+
+    Only content-determined fields appear — see :data:`VOLATILE_RESULT_KEYS`.
+    """
     lines: List[str] = [f"# {result.get('title') or result.get('campaign')}", ""]
     description = result.get("description")
     if description:
         lines += [str(description), ""]
-    run = result.get("run") or {}
+    cells = result.get("cells")
+    if cells is None:
+        # Results stored before the "cells" field carried the count only in
+        # the (volatile) run summary.
+        cells = (result.get("run") or {}).get("cells_total", 0)
     lines += [
         f"- campaign: `{result.get('campaign')}`",
         f"- experiment: `{result.get('experiment')}`",
         f"- mode: {result.get('mode')}",
-        f"- generated: {result.get('generated_at')}",
         f"- spec fingerprint: `{result.get('spec_fingerprint')}`",
-        f"- cells: {run.get('cells_total', 0)} "
-        f"({run.get('cells_simulated', 0)} simulated, "
-        f"{run.get('cells_from_cache', 0)} from cache)",
+        f"- cells: {cells}",
         "",
     ]
     tables = result.get("tables") or {}
@@ -113,6 +138,7 @@ def render_campaign(
     written.append(markdown)
     payload = out / f"{name}.json"
     # No key sorting: table rows keep their experiment module's column order.
-    payload.write_text(json.dumps(result, indent=2) + "\n")
+    # Volatile run metadata is stripped so the file is deterministic.
+    payload.write_text(json.dumps(deterministic_result(result), indent=2) + "\n")
     written.append(payload)
     return written

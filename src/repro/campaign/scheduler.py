@@ -19,23 +19,71 @@ Because every cell is keyed by content fingerprint and persisted in the
 shared disk cache the moment it finishes, a campaign killed mid-run resumes
 exactly where it stopped: the next run screens finished cells as cache hits
 and re-simulates nothing.
+
+Beyond the single-host :meth:`CampaignScheduler.run`, the same cell matrix
+drives two sharded execution modes (each a thin loop over the same
+primitives, so all three are bit-identical by construction):
+
+:meth:`run_shard`
+    Deterministic *static* partitioning: shard ``i`` of ``N`` owns a fixed
+    round-robin slice of the sorted cell keys
+    (:func:`repro.util.sharding.partition`) — disjoint and exhaustive across
+    shards with no coordination at all.  Made for CI matrices and
+    orchestrators that already know the worker count.
+
+:meth:`run_worker`
+    *Dynamic* claiming through store-level cell leases: each worker
+    repeatedly claims a batch of unfinished cells
+    (:meth:`~repro.campaign.store.CampaignStore.claim_cells`), simulates
+    them, and releases the leases as results land in the shared disk cache.
+    Crash recovery is lease expiry — a worker killed mid-cell loses its
+    lease after the TTL and a survivor reclaims the cell.
+
+:meth:`finalize` (CLI: ``repro merge``)
+    Assembles the final artefact from the caches once every cell is done —
+    any worker or a separate fan-in job can run it; it simulates nothing.
 """
 
 from __future__ import annotations
 
 import importlib
+import os
 import time
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.campaign.spec import CampaignSpec, SpecError
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import CampaignStore, DEFAULT_LEASE_TTL
 from repro.experiments.parallel import ParallelExperimentRunner, SimRequest
+from repro.util.sharding import partition
 
 Progress = Callable[[str], None]
 
 
 def _silent(_message: str) -> None:
     return None
+
+
+def default_owner() -> str:
+    """A worker identity unique enough for lease stamping: host + pid."""
+    import socket
+
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class CampaignIncomplete(RuntimeError):
+    """Finalisation was requested while cells are still unsimulated."""
+
+
+class ShardedExecutionError(RuntimeError):
+    """Sharded execution was requested without a way to coordinate.
+
+    Shards and workers communicate *through the shared disk cache* — a cell
+    is done exactly when its result is on disk.  With the cache disabled
+    (``REPRO_DISK_CACHE=0``) workers cannot see each other's results:
+    they would re-simulate every cell (breaking exactly-once) and a
+    separate-process merge could never find the cells.  Refuse loudly
+    instead.
+    """
 
 
 class CampaignScheduler:
@@ -64,8 +112,15 @@ class CampaignScheduler:
             timed_instructions=spec.timed_instructions,
             processes=processes,
         )
+        #: Lazy keyed-cell matrix — spec and runner are fixed for this
+        #: scheduler's lifetime, so the (key, request) list is computed once.
+        self._keyed_cells: Optional[List[Tuple[str, SimRequest]]] = None
 
     # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return "quick" if self.quick else "full"
+
     def cell_workloads(self) -> List[str]:
         """Workloads that get matrix cells (may sub-sample in quick mode)."""
         names = list(self.runner.workload_names)
@@ -92,18 +147,45 @@ class CampaignScheduler:
                 )
         return requests
 
+    def keyed_cells(self) -> List[Tuple[str, SimRequest]]:
+        """(content key, request) per cell, de-duplicated by key.
+
+        Two variants that materialise to the same configuration share one
+        content key — and one cache slot — so they are one unit of sharded
+        work; the first spelling wins.
+        """
+        if self._keyed_cells is None:
+            keyed: Dict[str, SimRequest] = {}
+            for request in self.cells():
+                keyed.setdefault(self.runner.request_key(request), request)
+            self._keyed_cells = list(keyed.items())
+        return list(self._keyed_cells)
+
+    def shard_cells(self, index: int, count: int) -> List[Tuple[str, SimRequest]]:
+        """The keyed cells owned by shard ``index`` of ``count``.
+
+        Round-robin over the *sorted* content keys: every shard computes the
+        same partition independently, and across ``0..count-1`` the slices
+        are disjoint and exhaustive.
+        """
+        keyed = dict(self.keyed_cells())
+        members = partition(keyed.keys(), index, count)
+        return [(key, keyed[key]) for key in members]
+
+    # ------------------------------------------------------------------
+    # single-host execution (simulate everything, then assemble)
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, object]:
         """Execute the campaign; returns the run summary (also persisted)."""
-        mode = "quick" if self.quick else "full"
-        manifest = self.store.begin(self.spec, mode)
+        manifest = self.store.begin(self.spec, self.mode)
+        self._seed_cells(manifest)
         requests = self.cells()
         started = time.perf_counter()
         stats_before = self.runner.stats.copy()
 
         self.progress(
             f"[{self.spec.name}] {len(requests)} cells across "
-            f"{len(self.cell_workloads())} workloads ({mode} mode)"
+            f"{len(self.cell_workloads())} workloads ({self.mode} mode)"
         )
         executed = self.runner.warm(requests) if requests else 0
         cell_stats = self.runner.stats.since(stats_before)
@@ -114,7 +196,218 @@ class CampaignScheduler:
                 f"{len(requests) - executed} from cache "
                 f"({cell_stats.simulation_seconds:.1f}s simulating)"
             )
+        return self._assemble(manifest, started, stats_before,
+                              cells_total=len(requests), executed=executed)
 
+    # ------------------------------------------------------------------
+    # sharded execution
+    # ------------------------------------------------------------------
+    def run_shard(self, index: int, count: int) -> Dict[str, object]:
+        """Simulate the static shard ``index``/``count`` of the cell matrix.
+
+        Artefact assembly is deliberately *not* part of a shard run — once
+        every shard has landed its cells in the shared disk cache, any
+        process renders the final artefacts with :meth:`finalize`
+        (``repro merge``).
+        """
+        self._require_disk_cache(f"--shard {index}/{count}")
+        manifest = self.store.begin(self.spec, self.mode)
+        self._seed_cells(manifest)
+        keyed = self.shard_cells(index, count)
+        requests = [request for _key, request in keyed]
+        total = len(self.keyed_cells())
+        started = time.perf_counter()
+        stats_before = self.runner.stats.copy()
+
+        self.progress(
+            f"[{self.spec.name}] shard {index}/{count}: {len(requests)} of "
+            f"{total} cells ({self.mode} mode)"
+        )
+        executed = self.runner.warm(requests) if requests else 0
+        self._record_cells(manifest, requests, owner=f"shard-{index}/{count}")
+        run_stats = self.runner.stats.since(stats_before)
+
+        summary: Dict[str, object] = {
+            "mode": self.mode,
+            "shard": f"{index}/{count}",
+            "cells_total": total,
+            "cells_in_shard": len(requests),
+            "cells_simulated": executed,
+            "cells_from_cache": len(requests) - executed,
+            "wall_seconds": round(time.perf_counter() - started, 2),
+        }
+        summary.update(run_stats.as_dict())
+        self.store.record_run(manifest, summary)
+        self.progress(
+            f"[{self.spec.name}] shard {index}/{count} done: {executed} "
+            f"simulated, {len(requests) - executed} from cache"
+        )
+        return summary
+
+    def run_worker(
+        self,
+        owner: Optional[str] = None,
+        ttl: float = DEFAULT_LEASE_TTL,
+        batch_size: int = 4,
+        poll_seconds: float = 2.0,
+        max_cells: Optional[int] = None,
+        finalize: bool = True,
+    ) -> Dict[str, object]:
+        """Lease-driven worker loop: claim, simulate, release, repeat.
+
+        The loop ends when every cell of the campaign is in the shared disk
+        cache (no matter who computed it).  While other live workers hold
+        leases on the remaining cells, this worker polls every
+        ``poll_seconds``; leases of crashed workers expire after ``ttl``
+        seconds and are reclaimed here.  Within a claimed batch, cells are
+        simulated one at a time and the not-yet-started leases renewed after
+        each, so ``ttl`` only needs to outlast a single cell.
+
+        ``max_cells`` bounds how many cells this worker may claim (testing /
+        budgeted orchestrators); the loop then exits without waiting for the
+        campaign to complete.  When the campaign does complete and
+        ``finalize`` is set, the final artefact is assembled right here —
+        any worker can do it, the result is deterministic and the write
+        atomic, so concurrent finalisers are harmless.
+        """
+        if batch_size < 1:
+            # claim_cells(limit=0) returns [] which the loop would misread
+            # as "everything is leased elsewhere" and poll forever.
+            raise ValueError(f"batch_size must be >= 1 (got {batch_size})")
+        self._require_disk_cache("--worker")
+        owner = owner or default_owner()
+        manifest = self.store.begin(self.spec, self.mode)
+        self._seed_cells(manifest)
+        keyed = self.keyed_cells()
+        requests_by_key = dict(keyed)
+        all_requests = [request for _key, request in keyed]
+        started = time.perf_counter()
+        stats_before = self.runner.stats.copy()
+        claimed_total = 0
+        waiting_logged = False
+
+        self.progress(
+            f"[{self.spec.name}] worker {owner}: {len(keyed)} cells "
+            f"({self.mode} mode, ttl {ttl:g}s)"
+        )
+        all_keys = [key for key, _request in keyed]
+        while True:
+            self.store.reclaim_stale()
+            availability = self.runner.screen(all_requests, keys=all_keys)
+            unfinished = [key for key, _request in keyed if not availability[key]]
+            if not unfinished:
+                break
+            if max_cells is not None and claimed_total >= max_cells:
+                break
+            limit = batch_size
+            if max_cells is not None:
+                limit = min(limit, max_cells - claimed_total)
+            claimed = self.store.claim_cells(unfinished, owner, ttl=ttl,
+                                             limit=limit)
+            if not claimed:
+                # Every unfinished cell is leased to another live worker:
+                # poll until they land (or their leases expire).
+                if not waiting_logged:
+                    self.progress(
+                        f"[{self.spec.name}] worker {owner}: waiting on "
+                        f"{len(unfinished)} leased cell(s)"
+                    )
+                    waiting_logged = True
+                time.sleep(poll_seconds)
+                continue
+            waiting_logged = False
+            claimed_total += len(claimed)
+            remaining = list(claimed)
+            try:
+                for key in claimed:
+                    request = requests_by_key[key]
+                    # Inline execution: one cell is one workload group, so a
+                    # process pool would add overhead without parallelism —
+                    # multi-worker parallelism comes from running more workers.
+                    self.runner.warm([request], processes=1)
+                    remaining.remove(key)
+                    self._record_cells(manifest, [request], owner=owner)
+                    self.store.release_leases([key], owner)
+                    if remaining:
+                        self.store.renew_leases(remaining, owner, ttl=ttl)
+                    self.progress(
+                        f"[{self.spec.name}] worker {owner}: cell "
+                        f"{request.workload}/{request.label or request.kind} done"
+                    )
+            finally:
+                # On an exception or Ctrl-C mid-batch, hand the unfinished
+                # claims straight back instead of making everyone (including
+                # our own restart, which gets a fresh pid-based owner) wait
+                # out the TTL.
+                if remaining:
+                    self.store.release_leases(remaining, owner)
+
+        run_stats = self.runner.stats.since(stats_before)
+        summary: Dict[str, object] = {
+            "mode": self.mode,
+            "worker": owner,
+            "cells_total": len(keyed),
+            "cells_claimed": claimed_total,
+            "cells_simulated": run_stats.simulations,
+            "wall_seconds": round(time.perf_counter() - started, 2),
+        }
+        summary.update(run_stats.as_dict())
+        self.store.record_run(manifest, summary)
+        complete = not self.unfinished_cells()
+        summary["complete"] = complete
+        if complete and finalize:
+            summary["finalized"] = True
+            self.finalize(manifest=manifest)
+        return summary
+
+    def unfinished_cells(self) -> List[str]:
+        """Content keys of cells whose results are not in any cache yet."""
+        keyed = self.keyed_cells()
+        availability = self.runner.screen(
+            [request for _key, request in keyed],
+            keys=[key for key, _request in keyed],
+        )
+        return [key for key, _request in keyed if not availability[key]]
+
+    def finalize(self, manifest: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Assemble and persist the final artefact from cached cells.
+
+        Raises :class:`CampaignIncomplete` when cells are still missing —
+        finalisation never simulates matrix cells, so shard/worker runs must
+        land first.  Deterministic by construction: the assembled tables and
+        text depend only on the cached outcomes, so a merge after sharded
+        execution is bit-identical to a single-host :meth:`run`.
+        """
+        if manifest is None:
+            manifest = self.store.begin(self.spec, self.mode)
+        keyed = self.keyed_cells()
+        availability = self.runner.screen(
+            [request for _key, request in keyed],
+            keys=[key for key, _request in keyed],
+        )
+        missing = [key for key, _request in keyed if not availability[key]]
+        if missing:
+            hint = (
+                " (note: the disk cache is disabled in this process, so "
+                "results computed elsewhere are invisible — unset "
+                "REPRO_DISK_CACHE=0)"
+                if self.runner.disk_cache is None else ""
+            )
+            raise CampaignIncomplete(
+                f"campaign {self.spec.name!r}: {len(missing)} of {len(keyed)} "
+                f"cells not simulated yet — run the remaining shards/workers "
+                f"before merging{hint}"
+            )
+        started = time.perf_counter()
+        stats_before = self.runner.stats.copy()
+        return self._assemble(manifest, started, stats_before,
+                              cells_total=len(keyed), executed=0)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, manifest: Dict[str, object], started: float,
+                  stats_before, cells_total: int,
+                  executed: int) -> Dict[str, object]:
+        """Run the experiment module over the warmed caches and persist."""
         module = importlib.import_module(self.spec.experiment)
         result = module.run(self.runner)
         tables = self._tables(module, result)
@@ -123,10 +416,10 @@ class CampaignScheduler:
         wall = time.perf_counter() - started
 
         summary: Dict[str, object] = {
-            "mode": mode,
-            "cells_total": len(requests),
+            "mode": self.mode,
+            "cells_total": cells_total,
             "cells_simulated": executed,
-            "cells_from_cache": len(requests) - executed,
+            "cells_from_cache": cells_total - executed,
             "wall_seconds": round(wall, 2),
         }
         summary.update(run_stats.as_dict())
@@ -138,7 +431,10 @@ class CampaignScheduler:
                 "description": self.spec.description,
                 "experiment": self.spec.experiment,
                 "spec_fingerprint": self.spec.fingerprint(),
-                "mode": mode,
+                "mode": self.mode,
+                # Deterministic planned-cell count (deduped by content key);
+                # the volatile per-run counters live under "run".
+                "cells": len(self.keyed_cells()),
                 "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
                 "tables": tables,
                 "text": text,
@@ -161,17 +457,48 @@ class CampaignScheduler:
         return summary
 
     # ------------------------------------------------------------------
+    def _require_disk_cache(self, what: str) -> None:
+        if self.runner.disk_cache is None:
+            raise ShardedExecutionError(
+                f"{what} needs the shared disk cache to coordinate between "
+                f"processes, but it is disabled (REPRO_DISK_CACHE=0) — "
+                f"enable it, or run without sharding"
+            )
+
+    def _seed_cells(self, manifest: Dict[str, object]) -> None:
+        """Register every planned cell as ``status: planned`` (idempotent).
+
+        Seeding the full key set up front is what makes ``repro status``
+        meaningful mid-campaign (done/leased/pending partition the whole
+        matrix, not just the cells this process touched) and makes the
+        lock-free manifest merge safe: counts derive from the seeded key
+        set plus disk-cache truth, never from per-worker updates alone.
+        """
+        records: Dict[str, Dict[str, object]] = {}
+        for key, request in self.keyed_cells():
+            records[key] = {
+                "workload": request.workload,
+                "variant": request.label,
+                "kind": request.kind,
+                "status": "planned",
+            }
+        self.store.record_cells(manifest, records, overwrite=False)
+
     def _record_cells(self, manifest: Dict[str, object],
-                      requests: List[SimRequest]) -> None:
+                      requests: List[SimRequest],
+                      owner: Optional[str] = None) -> None:
         records: Dict[str, Dict[str, object]] = {}
         for request in requests:
             key = self.runner.request_key(request)
-            records[key] = {
+            record: Dict[str, object] = {
                 "workload": request.workload,
                 "variant": request.label,
                 "kind": request.kind,
                 "status": "done",
             }
+            if owner is not None:
+                record["completed_by"] = owner
+            records[key] = record
         self.store.record_cells(manifest, records)
 
     @staticmethod
@@ -180,6 +507,17 @@ class CampaignScheduler:
         if hook is None:
             return {}
         return {name: list(rows) for name, rows in hook(result).items()}
+
+
+def _resolve_spec(campaign: Union[str, CampaignSpec]) -> CampaignSpec:
+    if isinstance(campaign, str):
+        from repro.campaign.registry import get_campaign
+
+        spec = get_campaign(campaign)
+        if spec is None:
+            raise SpecError(f"unknown campaign {campaign!r} (try `repro list`)")
+        return spec
+    return campaign
 
 
 def run_campaign(
@@ -192,16 +530,8 @@ def run_campaign(
     bench_report: bool = True,
 ) -> Dict[str, object]:
     """Resolve ``campaign`` (name or spec) and execute it."""
-    if isinstance(campaign, str):
-        from repro.campaign.registry import get_campaign
-
-        spec = get_campaign(campaign)
-        if spec is None:
-            raise SpecError(f"unknown campaign {campaign!r} (try `repro list`)")
-    else:
-        spec = campaign
     scheduler = CampaignScheduler(
-        spec, quick=quick, processes=processes, store=store,
+        _resolve_spec(campaign), quick=quick, processes=processes, store=store,
         runner=runner, progress=progress, bench_report=bench_report,
     )
     return scheduler.run()

@@ -1,26 +1,39 @@
-"""Resumable campaign result store.
+"""Resumable campaign result store, with cell leasing for sharded execution.
 
 One directory per campaign under ``.repro_cache/campaigns/<name>/`` holding:
 
 ``manifest.json``
-    The spec (dict form), its content fingerprint, the run mode, and one
-    record per (workload, variant) cell: content key, status and timing of
-    the last run that touched it.
+    The spec (dict form), its content fingerprint, the run mode, the manifest
+    schema version, and one record per (workload, variant) cell: content key,
+    status, and which worker completed it.
 
 ``result.json``
     The assembled artefact: structured tables (JSON rows), the experiment
     module's rendered text (verbatim), and run metadata.
 
-Resumability does **not** depend on the manifest: ground truth for "has this
-cell been simulated" is the fingerprint-keyed simulation disk cache (shared
-with the figure modules and the benchmark suite).  The manifest records what
-the campaign *planned* and what each run *observed*, so ``repro status`` can
-report progress without simulating anything, and a spec change (different
-fingerprint) visibly resets the bookkeeping while stale simulation results
-remain impossible by construction (code-salted cache keys).
+``leases/``
+    One JSON file per *leased* cell, named by the cell's content key and
+    stamped with owner + expiry.  Leases are advisory work-claims for
+    multi-worker execution: a worker atomically creates ``leases/<key>.json``
+    before simulating the cell and removes it after the result lands in the
+    shared disk cache.  A worker that dies mid-cell leaves its lease behind;
+    once the TTL passes, any other worker reclaims it and finishes the cell.
+    Creation uses ``os.link`` (atomic publish-with-content), so two workers
+    racing for one cell cannot both win.
 
-Writes are atomic (temp file + ``os.replace``), matching the disk cache's
-concurrency contract.
+Resumability does **not** depend on the manifest or the leases: ground truth
+for "has this cell been simulated" is the fingerprint-keyed simulation disk
+cache (shared with the figure modules and the benchmark suite).  The
+manifest records what the campaign *planned* and what each run *observed*,
+so ``repro status`` can report progress without simulating anything, and a
+spec change (different fingerprint) visibly resets the bookkeeping while
+stale simulation results remain impossible by construction (code-salted
+cache keys).  Losing a lease race or a manifest update is therefore never a
+correctness problem — at worst a cell is simulated twice, and deterministic
+simulation makes the duplicate byte-identical.
+
+Writes are atomic (temp file + ``os.replace`` / ``os.link``), matching the
+disk cache's concurrency contract.
 """
 
 from __future__ import annotations
@@ -29,13 +42,32 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.campaign.spec import CampaignSpec
 from repro.experiments.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
 
 MANIFEST_NAME = "manifest.json"
 RESULT_NAME = "result.json"
+LEASES_DIR = "leases"
+
+#: Manifest layout version.  v2 added per-cell completion records
+#: (``status``/``completed_by``) and the ``leases/`` directory; a v1 manifest
+#: is reset on ``begin`` (cheap — cell results live in the shared cache).
+MANIFEST_SCHEMA = 2
+
+#: Default lease time-to-live.  Must comfortably exceed the wall time of one
+#: cell batch; workers renew between cells, so the TTL only matters when a
+#: worker dies (it bounds how long its claimed cells stay unavailable).
+DEFAULT_LEASE_TTL = 600.0
+
+#: Time-to-live of a *steal lock* — the tiny marker file serialising the
+#: removal of one expired lease (read-check-unlink is not atomic; without
+#: the lock, two reclaimers could each observe the stale lease and one of
+#: them unlink the other's freshly published replacement).  Stealing is a
+#: few syscalls, so this only bounds how long a reclaimer crashed mid-steal
+#: can block that one cell.
+STEAL_TTL = 30.0
 
 
 def campaigns_root(root: Optional[os.PathLike] = None) -> Path:
@@ -45,15 +77,25 @@ def campaigns_root(root: Optional[os.PathLike] = None) -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)) / "campaigns"
 
 
+def _tmp_name(path: Path) -> Path:
+    """A collision-free sibling temp path (unique per process *and* thread —
+    in-process worker threads share the pid)."""
+    import threading
+
+    return path.with_name(
+        f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+    )
+
+
 def _atomic_write_json(path: Path, payload: object, sort_keys: bool = True) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp = _tmp_name(path)
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=sort_keys) + "\n")
     os.replace(tmp, path)
 
 
 class CampaignStore:
-    """Manifest + result persistence for one campaign."""
+    """Manifest + result persistence and cell leasing for one campaign."""
 
     def __init__(self, name: str, root: Optional[os.PathLike] = None) -> None:
         self.name = name
@@ -67,6 +109,10 @@ class CampaignStore:
     @property
     def result_path(self) -> Path:
         return self.directory / RESULT_NAME
+
+    @property
+    def leases_path(self) -> Path:
+        return self.directory / LEASES_DIR
 
     def load_manifest(self) -> Optional[Dict[str, object]]:
         try:
@@ -84,10 +130,10 @@ class CampaignStore:
     def begin(self, spec: CampaignSpec, mode: str) -> Dict[str, object]:
         """Open (or reset) the manifest for a run of ``spec``.
 
-        An existing manifest written for a different spec fingerprint or
-        mode is reset — its cell bookkeeping describes a different campaign
-        shape.  Simulation results are unaffected (they live in the shared
-        disk cache under content keys).
+        An existing manifest written for a different spec fingerprint, mode
+        or schema version is reset — its cell bookkeeping describes a
+        different campaign shape.  Simulation results are unaffected (they
+        live in the shared disk cache under content keys).
         """
         fingerprint = spec.fingerprint()
         manifest = self.load_manifest()
@@ -95,8 +141,10 @@ class CampaignStore:
             manifest is None
             or manifest.get("spec_fingerprint") != fingerprint
             or manifest.get("mode") != mode
+            or manifest.get("schema") != MANIFEST_SCHEMA
         ):
             manifest = {
+                "schema": MANIFEST_SCHEMA,
                 "campaign": self.name,
                 "spec": spec.to_dict(),
                 "spec_fingerprint": fingerprint,
@@ -108,17 +156,262 @@ class CampaignStore:
         return manifest
 
     def record_cells(self, manifest: Dict[str, object],
-                     records: Mapping[str, Mapping[str, object]]) -> None:
-        """Merge per-cell records (key -> info) and persist the manifest."""
+                     records: Mapping[str, Mapping[str, object]],
+                     overwrite: bool = True) -> None:
+        """Merge per-cell records (key -> info) and persist the manifest.
+
+        Concurrent workers each hold their own manifest dict; to keep their
+        updates from clobbering each other, the on-disk manifest is re-read
+        and merged under the same fingerprint/mode before writing.  A lost
+        update under that (lock-free) merge can only cost per-cell
+        bookkeeping detail (``completed_by``) — cell *counts* stay correct
+        because every run seeds the full planned-cell set up front
+        (``overwrite=False``) and ``status()`` derives done-ness from the
+        disk cache, never from these records.
+        """
+        disk = self.load_manifest()
+        if (
+            disk is not None
+            and disk.get("spec_fingerprint") == manifest.get("spec_fingerprint")
+            and disk.get("mode") == manifest.get("mode")
+        ):
+            # Take the disk copy as the base and lay our records over it —
+            # except never demote another worker's "done" record with our
+            # not-yet-done copy of the same cell.
+            merged = dict(disk.get("cells", {}))
+            for key, info in manifest.get("cells", {}).items():
+                current = merged.get(key)
+                if (
+                    current is None
+                    or current.get("status") != "done"
+                    or info.get("status") == "done"
+                ):
+                    merged[key] = info
+            manifest["cells"] = merged
         cells = manifest.setdefault("cells", {})
         for key, info in records.items():
-            cells[key] = dict(info)
+            if overwrite or key not in cells:
+                cells[key] = dict(info)
         self.save_manifest(manifest)
 
     def record_run(self, manifest: Dict[str, object],
                    summary: Mapping[str, object]) -> None:
         manifest["last_run"] = dict(summary)
         self.save_manifest(manifest)
+
+    # ------------------------------------------------------------------
+    # cell leasing
+    # ------------------------------------------------------------------
+    def _lease_path(self, key: str) -> Path:
+        return self.leases_path / f"{key}.json"
+
+    def read_lease(self, key: str) -> Optional[Dict[str, object]]:
+        """The lease record for ``key`` (``None`` if absent or unreadable)."""
+        try:
+            lease = json.loads(self._lease_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return lease if isinstance(lease, dict) else None
+
+    def _lease_live(self, lease: Optional[Dict[str, object]],
+                    now: float) -> bool:
+        if lease is None:
+            return False
+        expires = lease.get("expires_at")
+        return isinstance(expires, (int, float)) and now < expires
+
+    def _publish_lease(self, key: str, payload: Dict[str, object]) -> bool:
+        """Atomically create ``leases/<key>.json``; False if it exists.
+
+        ``os.link`` publishes the fully-written temp file under the lease
+        name in one step, so a concurrent reader can never observe a
+        partially-written lease and two racing claimers cannot both win.
+        """
+        self.leases_path.mkdir(parents=True, exist_ok=True)
+        path = self._lease_path(key)
+        tmp = _tmp_name(path)
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _steal_path(self, key: str) -> Path:
+        # ``.json.steal`` so the ``*.json`` lease globs never see it.
+        path = self._lease_path(key)
+        return path.with_name(path.name + ".steal")
+
+    def _acquire_steal(self, key: str, owner: str) -> bool:
+        """Serialise the removal of one stale lease (see :data:`STEAL_TTL`).
+
+        Atomic create-with-content, exactly like leases; an aged steal lock
+        (crashed reclaimer) is swept and the acquisition retried once.
+        """
+        path = self._steal_path(key)
+        payload = {"key": key, "owner": owner, "created_at": time.time()}
+        for _attempt in (0, 1):
+            tmp = _tmp_name(path)
+            tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+            try:
+                os.link(tmp, path)
+                return True
+            except FileExistsError:
+                pass
+            finally:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            try:
+                held = json.loads(path.read_text())
+                created = held.get("created_at", 0.0)
+            except (OSError, ValueError):
+                created = 0.0
+            if time.time() - created < STEAL_TTL:
+                return False
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return False
+
+    def _release_steal(self, key: str) -> None:
+        try:
+            self._steal_path(key).unlink()
+        except OSError:
+            pass
+
+    def _reclaim_one(self, key: str, owner: str,
+                     publish: Optional[Dict[str, object]] = None) -> bool:
+        """Remove ``key``'s stale lease under the steal lock; optionally
+        publish ``publish`` as the replacement lease in the same critical
+        section.  Returns True when the caller won (lease removed, and the
+        replacement — if requested — published)."""
+        if not self._acquire_steal(key, owner):
+            return False
+        try:
+            # Re-check under the lock: the lease may have been renewed or
+            # replaced since the caller observed it stale.
+            if self._lease_live(self.read_lease(key), time.time()):
+                return False
+            try:
+                self._lease_path(key).unlink()
+            except OSError:
+                pass
+            if publish is not None:
+                return self._publish_lease(key, publish)
+            return True
+        finally:
+            self._release_steal(key)
+
+    def claim_cells(self, keys: Iterable[str], owner: str,
+                    ttl: float = DEFAULT_LEASE_TTL,
+                    limit: Optional[int] = None) -> List[str]:
+        """Atomically claim up to ``limit`` unleased cells for ``owner``.
+
+        A cell with a live lease held by anyone (including ``owner``) is
+        skipped; a stale (expired) or corrupt lease is removed — serialised
+        by a per-cell steal lock, so racing reclaimers cannot unlink each
+        other's fresh replacement — and the claim retried, so crashed
+        workers' cells flow back automatically.  Returns the keys actually
+        claimed, in input order.
+        """
+        now = time.time()
+        claimed: List[str] = []
+        for key in keys:
+            if limit is not None and len(claimed) >= limit:
+                break
+            payload = {
+                "key": key,
+                "owner": owner,
+                "created_at": now,
+                "expires_at": now + ttl,
+            }
+            if self._publish_lease(key, payload):
+                claimed.append(key)
+                continue
+            if self._lease_live(self.read_lease(key), now):
+                continue
+            if self._reclaim_one(key, owner, publish=payload):
+                claimed.append(key)
+        return claimed
+
+    def renew_leases(self, keys: Iterable[str], owner: str,
+                     ttl: float = DEFAULT_LEASE_TTL) -> int:
+        """Push the expiry of ``owner``'s *live* leases forward; returns count.
+
+        Leases held by someone else, already reclaimed, or already expired
+        are left alone — an expired lease is lost (a reclaimer may be
+        removing it right now), and resurrecting it could duplicate a cell.
+        The renewing worker should treat unrenewed cells as lost.
+        """
+        now = time.time()
+        renewed = 0
+        for key in keys:
+            lease = self.read_lease(key)
+            if lease is None or lease.get("owner") != owner:
+                continue
+            if not self._lease_live(lease, now):
+                continue
+            lease["expires_at"] = now + ttl
+            _atomic_write_json(self._lease_path(key), lease)
+            renewed += 1
+        return renewed
+
+    def release_leases(self, keys: Iterable[str], owner: str) -> int:
+        """Drop ``owner``'s leases on ``keys``; returns the number released."""
+        released = 0
+        for key in keys:
+            lease = self.read_lease(key)
+            if lease is None or lease.get("owner") != owner:
+                continue
+            try:
+                self._lease_path(key).unlink()
+                released += 1
+            except OSError:
+                pass
+        return released
+
+    def reclaim_stale(self, now: Optional[float] = None) -> List[str]:
+        """Remove every expired or unreadable lease; returns their keys.
+
+        Removal goes through the same per-cell steal lock as
+        :meth:`claim_cells`, so a sweeper can never unlink a lease that a
+        racing claimer just republished.
+        """
+        if now is None:
+            now = time.time()
+        reclaimed: List[str] = []
+        if not self.leases_path.is_dir():
+            return reclaimed
+        sweeper = f"reclaim-{os.getpid()}"
+        for path in sorted(self.leases_path.glob("*.json")):
+            key = path.name[: -len(".json")]
+            if self._lease_live(self.read_lease(key), now):
+                continue
+            if self._reclaim_one(key, sweeper):
+                reclaimed.append(key)
+        return reclaimed
+
+    def leases(self, now: Optional[float] = None) -> Dict[str, Dict[str, object]]:
+        """Every *live* lease, keyed by cell key."""
+        if now is None:
+            now = time.time()
+        live: Dict[str, Dict[str, object]] = {}
+        if not self.leases_path.is_dir():
+            return live
+        for path in sorted(self.leases_path.glob("*.json")):
+            key = path.name[: -len(".json")]
+            lease = self.read_lease(key)
+            if self._lease_live(lease, now):
+                live[key] = lease
+        return live
 
     # ------------------------------------------------------------------
     def save_result(self, payload: Mapping[str, object]) -> Path:
@@ -136,7 +429,13 @@ class CampaignStore:
 
     # ------------------------------------------------------------------
     def status(self) -> Dict[str, object]:
-        """Live progress summary: manifest bookkeeping + disk-cache truth."""
+        """Live progress summary: manifest bookkeeping + disk-cache truth.
+
+        Cell counts partition ``cells_planned``: ``cells_done`` (result in
+        the shared disk cache), ``cells_leased`` (not done, live lease held
+        by some worker) and ``cells_pending`` (neither).  ``cells_cached``
+        is kept as an alias of ``cells_done`` for older tooling.
+        """
         manifest = self.load_manifest()
         if manifest is None:
             return {"campaign": self.name, "state": "never run"}
@@ -145,10 +444,13 @@ class CampaignStore:
         )
 
         cells = manifest.get("cells", {})
-        cached = 0
+        done_keys = set()
         if disk_cache_enabled():
             disk = ResultDiskCache()
-            cached = sum(1 for key in cells if disk.contains(salted_key(key)))
+            done_keys = {key for key in cells if disk.contains(salted_key(key))}
+        live = self.leases()
+        done = len(done_keys)
+        leased = sum(1 for key in cells if key in live and key not in done_keys)
         # A result only counts as complete if it was assembled for the
         # manifest's current spec/mode; a mode or spec change leaves the old
         # result.json behind until the new run finishes.
@@ -163,19 +465,33 @@ class CampaignStore:
             "state": "complete" if complete else "partial",
             "mode": manifest.get("mode"),
             "cells_planned": len(cells),
-            "cells_cached": cached,
+            "cells_done": done,
+            "cells_cached": done,
+            "cells_leased": leased,
+            "cells_pending": max(0, len(cells) - done - leased),
             "has_result": self.result_path.exists(),
             "updated_at": manifest.get("updated_at"),
             "last_run": manifest.get("last_run"),
         }
 
     def clear(self) -> int:
-        """Delete this campaign's manifest/result files; returns count."""
+        """Delete this campaign's manifest/result/lease files; returns count."""
         removed = 0
         for path in (self.manifest_path, self.result_path):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        if self.leases_path.is_dir():
+            for path in self.leases_path.glob("*.json*"):   # leases + steal locks
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                self.leases_path.rmdir()
             except OSError:
                 pass
         try:

@@ -253,24 +253,48 @@ class ParallelExperimentRunner(ExperimentRunner):
             request.system_config, request.dla_config,
         )
 
-    def _pending_groups(self, requests: Sequence[SimRequest]):
-        """Group not-yet-cached requests by workload, preserving order.
+    def screen(self, requests: Sequence[SimRequest],
+               keys: Optional[Sequence[str]] = None) -> Dict[str, bool]:
+        """Cell-granular cache probe: request key -> "result available".
 
-        Keys are derived from workload *definitions*, so screening a fully
-        cached campaign costs no setup work at all.
+        Disk-cached results are pulled into the in-memory caches on the way
+        (so a later :meth:`warm` or figure call is a memory hit), but nothing
+        is ever simulated.  This is what sharded execution polls: a cell is
+        *done* exactly when its key screens True here, regardless of which
+        worker (or host, via a shared/synced cache directory) computed it.
+
+        ``keys`` — when the caller already holds the content keys (aligned
+        with ``requests``) — skips recomputing the fingerprints.
         """
-        groups: Dict[str, List[SimRequest]] = {}
-        for request in requests:
-            key = self._request_key(request)
+        availability: Dict[str, bool] = {}
+        for index, request in enumerate(requests):
+            key = keys[index] if keys is not None else self._request_key(request)
             has, inject = self._cache_ops(request.kind)
             if has(key):
+                availability[key] = True
                 continue
             if self.disk_cache is not None:
                 stored = self.disk_cache.get(self._disk_key(key))
                 if stored is not None:
                     self.stats.disk_hits += 1
                     inject(key, stored, persist=False)
+                    availability[key] = True
                     continue
+            availability[key] = False
+        return availability
+
+    def _pending_groups(self, requests: Sequence[SimRequest]):
+        """Group not-yet-cached requests by workload, preserving order.
+
+        Keys are derived from workload *definitions*, so screening a fully
+        cached campaign costs no setup work at all.
+        """
+        keys = [self._request_key(request) for request in requests]
+        availability = self.screen(requests, keys=keys)
+        groups: Dict[str, List[SimRequest]] = {}
+        for request, key in zip(requests, keys):
+            if availability[key]:
+                continue
             groups.setdefault(request.workload, []).append(request)
         return list(groups.items())
 
