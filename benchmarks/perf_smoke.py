@@ -1,14 +1,17 @@
-"""Performance smoke: one workload end-to-end, throughput recorded.
+"""Performance smoke: two workloads end-to-end, throughput recorded.
 
 Runs the full BL / DLA / R3-DLA configuration stack for a single workload
-with fresh caches, then appends simulated-instructions-per-second and
-wall-time numbers to ``BENCH_sim_throughput.json``.  Intended as a cheap
-CI/tooling hook: run it after a change to the timing models to see the perf
-trajectory without paying for the whole benchmark suite.
+with fresh caches, plus a memory-bound workload under the fully contended
+memory backend (banked MSHRs + write buffers + DRAM queues) so the cost of
+the contention models shows up in the throughput trajectory, then appends
+simulated-instructions-per-second and wall-time numbers to
+``BENCH_sim_throughput.json``.  Intended as a cheap CI/tooling hook: run it
+after a change to the timing models to see the perf trajectory without
+paying for the whole benchmark suite.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py [workload]
+    PYTHONPATH=src python benchmarks/perf_smoke.py [workload] [memory_workload]
 """
 
 from __future__ import annotations
@@ -22,31 +25,56 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.dla.config import DlaConfig                      # noqa: E402
 from repro.experiments.bench import update_bench_report     # noqa: E402
+from repro.experiments.memsys_sweep import (                # noqa: E402
+    MEMSYS_MACHINES,
+    machine_config,
+)
 from repro.experiments.runner import ExperimentRunner       # noqa: E402
 
 
-def main(workload: str = "mcf") -> dict:
+def main(workload: str = "mcf", memory_workload: str = "mg") -> dict:
     started = time.perf_counter()
     # Fresh in-memory caches and no disk cache: measure real simulation speed.
-    runner = ExperimentRunner(quick=True, workload_names=[workload],
+    runner = ExperimentRunner(quick=True,
+                              workload_names=[workload, memory_workload],
                               disk_cache=False)
     setup = runner.setup(workload)
     runner.baseline(setup, "bl")
     runner.baseline(setup, "bl-nopf", runner.no_prefetch_config())
     runner.dla(setup, DlaConfig().baseline_dla(), "dla")
     runner.dla(setup, DlaConfig().r3(), "r3")
+
+    # Memory-bound kernel under the fully contended backend (the canonical
+    # "contended" machine point of the memsys sweep): every contention
+    # resource is live, so regressions in the occupancy layer's hot paths
+    # move these numbers.
+    contended_cfg = machine_config(runner.system_config,
+                                   dict(MEMSYS_MACHINES)["contended"])
+    memory_setup = runner.setup(memory_workload)
+    before = runner.stats.copy()
+    runner.baseline(memory_setup, "bl-contended", contended_cfg)
+    runner.dla(memory_setup, DlaConfig().r3(), "r3-contended", contended_cfg)
+    contended_stats = runner.stats.since(before)
     wall = time.perf_counter() - started
 
     payload = dict(runner.stats.as_dict())
     payload["workload"] = workload
+    payload["memory_workload"] = memory_workload
+    payload["contended_instructions_per_second"] = round(
+        contended_stats.instructions_per_second, 1
+    )
     payload["wall_seconds"] = round(wall, 3)
     path = update_bench_report("perf_smoke", payload,
                                path=REPO_ROOT / "BENCH_sim_throughput.json")
-    print(f"perf_smoke[{workload}]: {payload['simulations']} simulations, "
+    print(f"perf_smoke[{workload}+{memory_workload}]: "
+          f"{payload['simulations']} simulations, "
           f"{payload['simulated_instructions']} instructions in {wall:.2f}s "
-          f"({payload['instructions_per_second']:.0f} inst/s) -> {path}")
+          f"({payload['instructions_per_second']:.0f} inst/s overall, "
+          f"{payload['contended_instructions_per_second']:.0f} inst/s "
+          f"contended) -> {path}")
     return payload
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "mcf")
+    main(sys.argv[1] if len(sys.argv) > 1 else "mcf",
+         sys.argv[2] if len(sys.argv) > 2 else "mg")

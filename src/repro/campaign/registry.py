@@ -31,7 +31,10 @@ BUILTIN_EXPERIMENT_MODULES = (
     "repro.experiments.fig13_breakdown",
     "repro.experiments.fig14_queue_validation",
     "repro.experiments.fig15_recycle_dist",
+    "repro.experiments.memsys_sweep",
     "repro.experiments.mshr_sweep",
+    "repro.experiments.wb_sweep",
+    "repro.experiments.dramq_sweep",
     "repro.experiments.table02_activity",
     "repro.experiments.table03_mpki",
 )
@@ -40,7 +43,7 @@ BUILTIN_EXPERIMENT_MODULES = (
 #: day-of-year), so a week of CI runs covers the whole set at the cost of a
 #: single pinned figure.  Every entry must run end-to-end with two workloads
 #: and 1.5k+1.5k windows.
-SMOKE_ROTATION = ("fig09", "fig10", "fig13", "table02", "table03")
+SMOKE_ROTATION = ("fig09", "fig10", "fig13", "table02", "table03", "memsys")
 
 #: Environment override pinning the smoke figure (useful locally and in
 #: tests); must name an entry of :data:`SMOKE_ROTATION`.
@@ -128,6 +131,35 @@ def _mshr_sweeps() -> List[CampaignSpec]:
     ]
 
 
+def _memsys_sweeps() -> List[CampaignSpec]:
+    """Per-scenario memory-backend campaigns: ``memsys:<scenario>``.
+
+    The cross product of the behavioural scenarios with the named machine
+    points of ``memsys-sweep`` — a whole sweepable axis of contention
+    studies riding on the sharded-campaign machinery.
+    """
+    from repro.experiments.memsys_sweep import CAMPAIGN as MEMSYS
+    from repro.workloads.suites import SCENARIOS
+
+    return [
+        CampaignSpec(
+            name=f"memsys:{scenario}",
+            title=f"Memory-backend machines — {scenario} workloads",
+            experiment="repro.experiments.memsys_sweep",
+            description=(
+                "Named memory-backend machine points (uncontended, default, "
+                "tight/banked MSHRs, write buffers, bounded DRAM queues, "
+                f"fully contended) on the '{scenario}' behavioural scenario: "
+                + ", ".join(SCENARIOS[scenario]) + "."
+            ),
+            workloads=(f"scenario:{scenario}",),
+            variants=MEMSYS.variants,
+            tags=("sweep", "memsys", "scenario"),
+        )
+        for scenario in SCENARIOS
+    ]
+
+
 def smoke_figure(day_of_year: Optional[int] = None) -> str:
     """The figure the smoke campaign exercises today.
 
@@ -185,6 +217,7 @@ _SMOKE_MODULES = {
     "fig13": "fig13_breakdown",
     "table02": "table02_activity",
     "table03": "table03_mpki",
+    "memsys": "memsys_sweep",
 }
 
 
@@ -203,6 +236,9 @@ def _ensure_builtins() -> None:
         if spec.name not in _REGISTRY:
             register(spec)
     for spec in _mshr_sweeps():
+        if spec.name not in _REGISTRY:
+            register(spec)
+    for spec in _memsys_sweeps():
         if spec.name not in _REGISTRY:
             register(spec)
     if "smoke" not in _REGISTRY:

@@ -58,6 +58,21 @@ class ConfigVariant:
     #: untouched, a positive integer caps outstanding misses per level, and
     #: ``0`` means *unbounded* (infinite memory-level parallelism).
     mshr_entries: Optional[int] = None
+    #: MSHR banking applied uniformly via ``SystemConfig.with_mshr_banks``:
+    #: ``None`` leaves the base config untouched, ``0``/``1`` forces the
+    #: single un-banked file, ``>= 2`` interleaves the file over that many
+    #: address banks (bank-conflict stalls counted separately).
+    mshr_banks: Optional[int] = None
+    #: Victim write-buffer depth per write-allocating level via
+    #: ``SystemConfig.with_write_buffer``: ``None`` leaves the base config
+    #: untouched, ``0`` removes the buffers (instant drain), a positive
+    #: integer bounds in-flight writebacks per level.
+    write_buffer_entries: Optional[int] = None
+    #: DRAM controller read/write queue depth per bank group via
+    #: ``SystemConfig.with_dram_queue``: ``None`` leaves the base config
+    #: untouched, ``0`` means unbounded (no queue model), a positive integer
+    #: bounds in-flight transfers per queue.
+    dram_queue_depth: Optional[int] = None
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -86,14 +101,21 @@ class ConfigVariant:
             raise SpecError(
                 f"variant {self.name!r}: dynamic tuning is a segmented-only knob"
             )
-        if self.mshr_entries is not None and (
-            not isinstance(self.mshr_entries, int)
-            or isinstance(self.mshr_entries, bool)   # bool subclasses int
-            or self.mshr_entries < 0
+        self._check_knob("mshr_entries", "0 = unbounded")
+        self._check_knob("mshr_banks", "0/1 = un-banked")
+        self._check_knob("write_buffer_entries", "0 = no buffer")
+        self._check_knob("dram_queue_depth", "0 = unbounded")
+
+    def _check_knob(self, name: str, zero_meaning: str) -> None:
+        value = getattr(self, name)
+        if value is not None and (
+            not isinstance(value, int)
+            or isinstance(value, bool)   # bool subclasses int
+            or value < 0
         ):
             raise SpecError(
-                f"variant {self.name!r}: mshr_entries must be a non-negative "
-                "integer (0 = unbounded) or None"
+                f"variant {self.name!r}: {name} must be a non-negative "
+                f"integer ({zero_meaning}) or None"
             )
 
     # ------------------------------------------------------------------
@@ -110,6 +132,9 @@ class ConfigVariant:
             self.prefetch == "default"
             and not self.core_overrides
             and self.mshr_entries is None
+            and self.mshr_banks is None
+            and self.write_buffer_entries is None
+            and self.dram_queue_depth is None
         ):
             return None
         config = base
@@ -122,6 +147,18 @@ class ConfigVariant:
         if self.mshr_entries is not None:
             config = config.with_mshr_entries(
                 None if self.mshr_entries == 0 else self.mshr_entries
+            )
+        if self.mshr_banks is not None:
+            config = config.with_mshr_banks(
+                None if self.mshr_banks in (0, 1) else self.mshr_banks
+            )
+        if self.write_buffer_entries is not None:
+            config = config.with_write_buffer(
+                None if self.write_buffer_entries == 0 else self.write_buffer_entries
+            )
+        if self.dram_queue_depth is not None:
+            config = config.with_dram_queue(
+                None if self.dram_queue_depth == 0 else self.dram_queue_depth
             )
         return config
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.memory.hierarchy import MemoryHierarchyConfig
+from repro.memory.resources import WriteBufferConfig
 
 
 @dataclass
@@ -114,6 +115,75 @@ class SystemConfig:
             l3=replace(self.memory.l3, mshr_entries=entries),
         )
         return replace(self, memory=memory)
+
+    def with_mshr_banks(self, banks: Optional[int]) -> "SystemConfig":
+        """A copy with every cache level's MSHR file split into ``banks``
+        address-interleaved banks (``None``/``0``/``1`` = the single file).
+        Bank conflict stalls are counted separately from capacity stalls;
+        the per-level entry count must divide evenly across the banks.
+
+        The inert spellings normalise to ``None`` so an un-banked machine
+        has exactly one content fingerprint (one cache slot) no matter how
+        it was written.
+        """
+        if banks is not None and banks <= 1:
+            banks = None
+        memory = replace(
+            self.memory,
+            l1i=replace(self.memory.l1i, mshr_banks=banks),
+            l1d=replace(self.memory.l1d, mshr_banks=banks),
+            l2=replace(self.memory.l2, mshr_banks=banks),
+            l3=replace(self.memory.l3, mshr_banks=banks),
+        )
+        return replace(self, memory=memory)
+
+    def with_write_buffer(self, entries: Optional[int]) -> "SystemConfig":
+        """A copy with an ``entries``-deep victim write buffer on every
+        write-allocating level (L1D/L2/L3; the I-cache never holds dirty
+        lines).  ``None`` removes the buffers — dirty victims drain
+        instantly, the pre-model behaviour.
+        """
+        buffer = None if entries is None else WriteBufferConfig(entries=entries)
+        memory = replace(
+            self.memory,
+            l1d=replace(self.memory.l1d, write_buffer=buffer),
+            l2=replace(self.memory.l2, write_buffer=buffer),
+            l3=replace(self.memory.l3, write_buffer=buffer),
+        )
+        return replace(self, memory=memory)
+
+    def with_dram_queue(self, depth: Optional[int],
+                        groups: Optional[int] = None) -> "SystemConfig":
+        """A copy with DRAM controller read/write queues of ``depth`` slots
+        per bank group (``None`` = unbounded, the pre-model behaviour).
+        ``groups`` optionally overrides the bank-group count; it is ignored
+        while ``depth`` is ``None`` (the knob would be inert but would
+        still split the unbounded machine's content fingerprint).
+        """
+        dram = replace(self.memory.dram, queue_depth=depth)
+        if groups is not None and depth is not None:
+            dram = replace(dram, queue_groups=groups)
+        return replace(self, memory=replace(self.memory, dram=dram))
+
+    def with_memsys(self, mshr_entries=..., mshr_banks=...,
+                    write_buffer_entries=..., dram_queue_depth=...) -> "SystemConfig":
+        """A copy with any subset of the memory-backend contention knobs set.
+
+        Unpassed knobs keep their current values; each passed knob accepts
+        ``None`` for "unbounded / model off".  This is the single entry
+        point the sweeps and campaign variants materialise through, so the
+        declarative and imperative spellings fingerprint identically.
+        """
+        config = self
+        if mshr_entries is not ...:
+            config = config.with_mshr_entries(mshr_entries)
+        if mshr_banks is not ...:
+            config = config.with_mshr_banks(mshr_banks)
+        if write_buffer_entries is not ...:
+            config = config.with_write_buffer(write_buffer_entries)
+        if dram_queue_depth is not ...:
+            config = config.with_dram_queue(dram_queue_depth)
+        return config
 
 
 def smt_full_core_config() -> CoreConfig:

@@ -40,9 +40,24 @@ class SimulationOutcome:
     dram_energy: float
     shared: SharedMemorySystem = field(repr=False, default=None)
     private: CoreMemorySystem = field(repr=False, default=None)
-    #: Per-level MSHR occupancy telemetry ({level: {counter: value}}); kept
-    #: as a plain dict so it survives :func:`strip_outcome` and disk caching.
-    mshr: Optional[Dict[str, Dict[str, int]]] = None
+    #: Unified memory-backend telemetry: one dict per level (``l1i``/``l1d``/
+    #: ``l2``/``l3`` with ``mshr``/``write_buffer``/``writebacks`` slices)
+    #: plus a ``dram`` entry (per-source traffic split, controller-queue
+    #: counters).  Kept as a plain dict so it survives :func:`strip_outcome`
+    #: and disk caching.  Subsumes the old per-level ``mshr`` field, which
+    #: lives on as the derived :attr:`mshr` view.
+    memsys: Optional[Dict[str, Dict[str, object]]] = None
+
+    @property
+    def mshr(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Per-level MSHR counters (the pre-``memsys`` telemetry shape)."""
+        if self.memsys is None:
+            return None
+        return {
+            level: info["mshr"]
+            for level, info in self.memsys.items()
+            if isinstance(info, dict) and "mshr" in info
+        }
 
     @property
     def cycles(self) -> float:
@@ -206,8 +221,9 @@ def warm_memory_systems(memories: Sequence[CoreMemorySystem],
         for memory in memories:
             _replay_warmup(memory, entries, cycles_per_access)
     # The timed region restarts the clock at 0 while warm replay ran on its
-    # own (much later) cycle numbers: quiesce the MSHR files so the warm
-    # window's in-flight arrival times cannot stall the timed region.  The
+    # own (much later) cycle numbers: quiesce every contention resource
+    # (MSHR files, write buffers, DRAM queues) so the warm window's
+    # in-flight completion times cannot stall the timed region.  The
     # drain runs after both the replay and the restore path, so warm-vs-cold
     # outcomes stay bit-identical.
     for memory in memories:
@@ -265,5 +281,5 @@ def simulate_baseline(
         dram_energy=shared.dram.energy(int(result.cycles)),
         shared=shared,
         private=private,
-        mshr={**private.mshr_telemetry(), **shared.mshr_telemetry()},
+        memsys={**private.memsys_telemetry(), **shared.memsys_telemetry()},
     )

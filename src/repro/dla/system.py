@@ -67,9 +67,25 @@ class DlaOutcome:
     lookahead_energy: EnergyBreakdown
     #: Names of the R3 optimizations that were active.
     optimizations: Tuple[str, ...] = ()
-    #: Per-level MSHR occupancy telemetry: {"main": {...}, "lookahead": {...},
-    #: "shared": {...}} with per-cache counter dicts inside.
-    mshr: Optional[Dict[str, Dict[str, Dict[str, int]]]] = None
+    #: Unified memory-backend telemetry: {"main": {...}, "lookahead": {...},
+    #: "shared": {...}} where each domain holds per-level dicts (``mshr``/
+    #: ``write_buffer``/``writebacks`` slices, plus ``dram`` under
+    #: ``shared``).  Subsumes the old ``mshr`` field (see :attr:`mshr`).
+    memsys: Optional[Dict[str, Dict[str, Dict[str, object]]]] = None
+
+    @property
+    def mshr(self) -> Optional[Dict[str, Dict[str, Dict[str, int]]]]:
+        """Per-domain, per-level MSHR counters (the pre-``memsys`` shape)."""
+        if self.memsys is None:
+            return None
+        return {
+            domain: {
+                level: info["mshr"]
+                for level, info in levels.items()
+                if isinstance(info, dict) and "mshr" in info
+            }
+            for domain, levels in self.memsys.items()
+        }
 
     @property
     def cycles(self) -> float:
@@ -307,9 +323,10 @@ class DlaSystem:
             empty = CoreResult(name="main-thread")
             return empty, CoreResult(name="look-ahead")
         # The two passes model concurrent threads but run back to back on
-        # their own clocks, sharing the L3.  Quiesce the shared MSHR file at
-        # each handoff: one pass's in-flight arrival times live in the other
-        # pass's future and would otherwise read as a permanently-full file.
+        # their own clocks, sharing the L3.  Quiesce the shared contention
+        # resources (L3 MSHRs and write buffer, DRAM queues) at each
+        # handoff: one pass's in-flight completion times live in the other
+        # pass's future and would otherwise read as permanently-full files.
         # (Line fill times intentionally do carry across — that aliasing is
         # how the look-ahead thread's L3 warming reaches the main thread.)
         state.shared.drain_mshrs()
@@ -374,10 +391,10 @@ class DlaSystem:
             main_energy=main_energy,
             lookahead_energy=lookahead_energy,
             optimizations=self.dla_config.enabled_optimizations,
-            mshr={
-                "main": state.mt_memory.mshr_telemetry(),
-                "lookahead": state.lt_memory.mshr_telemetry(),
-                "shared": state.shared.mshr_telemetry(),
+            memsys={
+                "main": state.mt_memory.memsys_telemetry(),
+                "lookahead": state.lt_memory.memsys_telemetry(),
+                "shared": state.shared.memsys_telemetry(),
             },
         )
 

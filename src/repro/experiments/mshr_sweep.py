@@ -1,131 +1,53 @@
 """MSHR sensitivity — how much memory-level parallelism does R3-DLA need?
 
-The decoupled look-ahead thread's value proposition is prefetching far ahead
-of the main thread, which only helps while the memory system can sustain the
-resulting outstanding misses.  This sweep varies the per-level MSHR-file
-capacity (4/8/16/32/unbounded, uniform across L1I/L1D/L2/L3) for both the
-baseline and R3-DLA and reports throughput relative to the unbounded
-(infinite-MLP) machine, plus the per-level stall telemetry that shows where
-the file saturates.
+This sweep varies the per-level MSHR-file capacity (4/8/16/32/unbounded,
+uniform across L1I/L1D/L2/L3) for both the baseline and R3-DLA and reports
+throughput relative to the unbounded (infinite-MLP) machine, plus the
+contention stall telemetry that shows where the file saturates.
 
 Shape to expect: tiny files (4 entries) throttle both machines, but R3-DLA
 degrades faster because the look-ahead thread's prefetches compete with the
 main thread's demand misses for the same entries; by 32 entries both curves
 are flat against the unbounded reference.
+
+The sweep machinery itself is the generalised memory-backend harness of
+:mod:`repro.experiments.memsys_sweep`; this module binds its ``mshr`` axis
+(and keeps the original ``mshr-sweep`` campaign name).  The sibling axes
+live in :mod:`repro.experiments.wb_sweep` (victim write buffers) and
+:mod:`repro.experiments.dramq_sweep` (DRAM controller queues).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.analysis.reporting import format_bar_chart, format_table
-from repro.dla.config import DlaConfig
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.memsys_sweep import (
+    AXIS_MSHR,
+    MSHR_SETTINGS,
+    MemsysSweepResult,
+    artifact_tables,
+    axis_variants,
+    run_axis,
+)
 from repro.experiments.runner import ExperimentRunner
-from repro.util.stats_math import geometric_mean
 
-#: Swept MSHR-file capacities; ``None`` is the unbounded reference machine.
-MSHR_SETTINGS = (4, 8, 16, 32, None)
+__all__ = [
+    "MSHR_SETTINGS", "MshrSweepResult", "setting_label",
+    "run", "CAMPAIGN", "artifact_tables",
+]
+
+#: Back-compat alias: the sweep result is the shared memsys shape now.
+MshrSweepResult = MemsysSweepResult
 
 
 def setting_label(entries: Optional[int]) -> str:
-    return "inf" if entries is None else str(entries)
+    return AXIS_MSHR.label(entries)
 
 
-@dataclass
-class MshrSweepResult:
-    #: workload -> setting label -> {"bl": rel IPC, "r3": rel IPC,
-    #: "bl_stall_cycles": ..., "r3_stall_cycles": ...}
-    per_workload: Dict[str, Dict[str, Dict[str, float]]]
-    #: setting label -> geomean relative IPC per machine ("bl"/"r3").
-    geomean: Dict[str, Dict[str, float]]
-
-    def render(self) -> str:
-        rows: List[Dict[str, object]] = []
-        for workload, by_setting in self.per_workload.items():
-            for label, values in by_setting.items():
-                row: Dict[str, object] = {"workload": workload, "mshr": label}
-                row.update(values)
-                rows.append(row)
-        lines = ["MSHR sweep — throughput relative to unbounded MSHRs", ""]
-        lines.append(format_table(rows))
-        lines.append("")
-        lines.append("geomean relative IPC (baseline):")
-        lines.append(format_bar_chart(
-            {label: values["bl"] for label, values in self.geomean.items()}
-        ))
-        lines.append("geomean relative IPC (R3-DLA):")
-        lines.append(format_bar_chart(
-            {label: values["r3"] for label, values in self.geomean.items()}
-        ))
-        return "\n".join(lines)
-
-
-def _stall_cycles(mshr_telemetry: Optional[Dict]) -> int:
-    """Total demand-miss MSHR stall cycles across the reported levels."""
-    if not mshr_telemetry:
-        return 0
-    total = 0
-    for counters in mshr_telemetry.values():
-        if isinstance(counters, dict) and "stall_cycles" in counters:
-            total += counters["stall_cycles"]
-        elif isinstance(counters, dict):   # nested (main/lookahead/shared)
-            total += _stall_cycles(counters)
-    return total
-
-
-def run(runner: Optional[ExperimentRunner] = None) -> MshrSweepResult:
+def run(runner: Optional[ExperimentRunner] = None) -> MemsysSweepResult:
     runner = runner or ExperimentRunner(quick=True)
-    r3 = DlaConfig().r3()
-    per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
-
-    for setup in runner.setups():
-        reference_cfg = runner.system_config.with_mshr_entries(None)
-        bl_ref = runner.baseline(setup, "bl-mshr-inf", reference_cfg)
-        r3_ref = runner.dla(setup, r3, "r3-mshr-inf", reference_cfg)
-        by_setting: Dict[str, Dict[str, float]] = {}
-        for entries in MSHR_SETTINGS:
-            label = setting_label(entries)
-            config = runner.system_config.with_mshr_entries(entries)
-            bl = runner.baseline(setup, f"bl-mshr-{label}", config)
-            r3_outcome = runner.dla(setup, r3, f"r3-mshr-{label}", config)
-            by_setting[label] = {
-                "bl": bl.ipc / bl_ref.ipc if bl_ref.ipc else 0.0,
-                "r3": r3_outcome.ipc / r3_ref.ipc if r3_ref.ipc else 0.0,
-                "bl_stall_cycles": _stall_cycles(bl.mshr),
-                "r3_stall_cycles": _stall_cycles(r3_outcome.mshr),
-            }
-        per_workload[setup.name] = by_setting
-
-    geomean = {
-        setting_label(entries): {
-            machine: geometric_mean([
-                by_setting[setting_label(entries)][machine]
-                for by_setting in per_workload.values()
-            ])
-            for machine in ("bl", "r3")
-        }
-        for entries in MSHR_SETTINGS
-    }
-    return MshrSweepResult(per_workload=per_workload, geomean=geomean)
-
-
-# ---------------------------------------------------------------------------
-# campaign registration (see repro.campaign)
-# ---------------------------------------------------------------------------
-from repro.campaign.spec import CampaignSpec, variants  # noqa: E402
-
-
-def _sweep_variants():
-    specs = []
-    for entries in MSHR_SETTINGS:
-        label = setting_label(entries)
-        declared = 0 if entries is None else entries   # 0 = unbounded in specs
-        specs.append(dict(name=f"bl-mshr-{label}", kind="baseline",
-                          mshr_entries=declared))
-        specs.append(dict(name=f"r3-mshr-{label}", kind="dla", dla_preset="r3",
-                          mshr_entries=declared))
-    return variants(*specs)
+    return run_axis(runner, AXIS_MSHR)
 
 
 CAMPAIGN = CampaignSpec(
@@ -135,21 +57,9 @@ CAMPAIGN = CampaignSpec(
     description="Throughput of the baseline and R3-DLA with per-level MSHR "
                 "files of 4/8/16/32/unbounded entries, relative to the "
                 "unbounded (infinite-MLP) machine.",
-    variants=_sweep_variants(),
+    variants=axis_variants(AXIS_MSHR),
     tags=("sweep", "mshr", "memory"),
 )
-
-
-def artifact_tables(result: MshrSweepResult) -> Dict[str, List[Dict[str, object]]]:
-    sensitivity = [
-        {"workload": workload, "mshr": label, **values}
-        for workload, by_setting in result.per_workload.items()
-        for label, values in by_setting.items()
-    ]
-    curve = [
-        {"mshr": label, **values} for label, values in result.geomean.items()
-    ]
-    return {"sensitivity": sensitivity, "curve": curve}
 
 
 def main() -> None:  # pragma: no cover

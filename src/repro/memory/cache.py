@@ -1,9 +1,29 @@
-"""Set-associative cache with LRU replacement, MSHRs and prefetch timing."""
+"""Set-associative cache with LRU replacement, MSHRs, a victim write buffer
+and prefetch timing.
+
+The contention primitives (MSHR files — banked or not — and the write
+buffer) are clients of the shared occupancy layer in
+:mod:`repro.memory.resources`; this module wires them into the cache's
+lookup/fill timing.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.memory.resources import (
+    BankedMshrFile,
+    MshrFile,
+    OccupancyQueue,
+    WriteBufferConfig,
+    probe_peak,
+)
+
+__all__ = [
+    "Cache", "CacheConfig", "CacheStats",
+    "BankedMshrFile", "MshrFile", "WriteBufferConfig",
+]
 
 
 @dataclass
@@ -20,13 +40,34 @@ class CacheConfig:
     #: capacity).  ``None`` means unbounded: no file is built and the timing
     #: path is bit-identical to a machine with infinite memory-level
     #: parallelism.  A bounded file stalls further misses while full (see
-    #: :class:`MshrFile`) and gates prefetch issue.
+    #: :class:`~repro.memory.resources.MshrFile`) and gates prefetch issue.
     mshr_entries: Optional[int] = 32
+    #: Address-interleaved MSHR banking: ``mshr_entries`` split evenly over
+    #: this many banks (``bank = block % mshr_banks``).  ``None``/``1`` keeps
+    #: the single file; requires ``mshr_entries`` to divide evenly.  Bank
+    #: conflict stalls (bank full while others have room) are counted
+    #: separately from capacity stalls.
+    mshr_banks: Optional[int] = None
+    #: Victim write buffer of this level (see
+    #: :class:`~repro.memory.resources.WriteBufferConfig`).  ``None`` means
+    #: no buffer is modelled: dirty victims drain instantly and fills are
+    #: never back-pressured — bit-identical to the pre-model machine.
+    write_buffer: Optional[WriteBufferConfig] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes % (self.associativity * self.block_bytes) != 0:
             raise ValueError(
                 f"{self.name}: size must be a multiple of associativity*block"
+            )
+        if (
+            self.mshr_banks is not None
+            and self.mshr_banks > 1
+            and self.mshr_entries is not None
+            and self.mshr_entries % self.mshr_banks
+        ):
+            raise ValueError(
+                f"{self.name}: mshr_entries ({self.mshr_entries}) must divide "
+                f"evenly across {self.mshr_banks} banks"
             )
 
     @property
@@ -60,6 +101,21 @@ class CacheStats:
     mshr_peak_occupancy: int = 0
     #: Prefetch requests dropped because the MSHR file was full at issue.
     prefetches_dropped: int = 0
+    #: Demand-miss MSHR stalls where the miss's bank was full while another
+    #: bank still had room (a subset of ``mshr_stalls``; only a banked file
+    #: can produce them).
+    mshr_bank_conflicts: int = 0
+    #: Cycles lost to those bank-conflict stalls (subset of
+    #: ``mshr_stall_cycles``).
+    mshr_bank_conflict_cycles: float = 0.0
+    #: Dirty victims admitted to this level's write buffer.
+    wb_enqueued: int = 0
+    #: Fills back-pressured because the write buffer was full.
+    wb_stalls: int = 0
+    #: Cycles fills spent waiting for a free write-buffer slot.
+    wb_stall_cycles: float = 0.0
+    #: Highest observed number of buffered victim writebacks.
+    wb_peak_occupancy: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -67,129 +123,11 @@ class CacheStats:
 
     def merge(self, other: "CacheStats") -> None:
         for name in vars(other):
-            if name == "mshr_peak_occupancy":
-                # Peak occupancy is a high-water mark, not a flow counter.
-                self.mshr_peak_occupancy = max(
-                    self.mshr_peak_occupancy, other.mshr_peak_occupancy
-                )
+            if name.endswith("_peak_occupancy"):
+                # Peak occupancies are high-water marks, not flow counters.
+                setattr(self, name, max(getattr(self, name), getattr(other, name)))
             else:
                 setattr(self, name, getattr(self, name) + getattr(other, name))
-
-
-class MshrFile:
-    """Miss-status-holding registers of one cache level.
-
-    The simulator is trace-driven rather than event-driven, so the file is a
-    *lazy timestamp* model: an entry is a ``block -> data-arrival cycle``
-    pair.  A primary miss allocates an entry that logically occupies the file
-    until its fill time passes; entries whose arrival time is behind the
-    current access time have retired and are pruned on demand.  A secondary
-    fill for an in-flight block coalesces onto the existing entry (keeping
-    the earliest arrival) instead of allocating a second one.
-
-    When every entry is still in flight at the time of a new primary miss,
-    the miss cannot issue: :meth:`acquire_delay` returns how long it must
-    wait for the earliest entry to retire (the freed slot is consumed
-    immediately so back-to-back stalled misses queue behind one another).
-    """
-
-    __slots__ = ("capacity", "_inflight")
-
-    def __init__(self, capacity: int) -> None:
-        if capacity <= 0:
-            raise ValueError("MSHR capacity must be positive (None = unbounded)")
-        self.capacity = capacity
-        self._inflight: Dict[int, float] = {}
-
-    # -- occupancy ---------------------------------------------------------
-    def _retire(self, now: float) -> None:
-        inflight = self._inflight
-        if inflight:
-            for block in [b for b, t in inflight.items() if t <= now]:
-                del inflight[block]
-
-    def occupancy(self, now: float) -> int:
-        """Entries still in flight at cycle ``now``."""
-        self._retire(now)
-        return len(self._inflight)
-
-    def available(self, now: float) -> bool:
-        """Whether a new entry could be allocated at cycle ``now``.
-
-        The full retire scan only runs when the file looks full — the
-        common uncontended case is a single length check.
-        """
-        if len(self._inflight) < self.capacity:
-            return True
-        self._retire(now)
-        return len(self._inflight) < self.capacity
-
-    # -- demand-miss path --------------------------------------------------
-    def acquire_delay(self, block: int, now: float) -> float:
-        """Cycles a primary miss for ``block`` must wait for a free entry.
-
-        Secondary misses (the block is already in flight — e.g. it was
-        evicted while its refill was outstanding) coalesce and never stall.
-        A full file pops its earliest-retiring entry and charges the wait:
-        the caller is guaranteed to follow up with a :meth:`allocate` via
-        ``Cache.fill``, which takes over the freed slot.
-        """
-        inflight = self._inflight
-        # A block whose earlier flight already completed must be treated as
-        # a fresh primary miss, not coalesced onto the stale entry (which
-        # would occupy no slot and keep the stale arrival time).  Stale
-        # pruning is per-block here and the full retire scan only runs when
-        # the file looks full, keeping the uncontended miss path O(1).
-        arrival = inflight.get(block)
-        if arrival is not None:
-            if arrival > now:
-                return 0.0
-            del inflight[block]
-        if len(inflight) < self.capacity:
-            return 0.0
-        self._retire(now)
-        if len(inflight) < self.capacity:
-            return 0.0
-        earliest_block = min(inflight, key=inflight.__getitem__)
-        earliest = inflight.pop(earliest_block)
-        return earliest - now
-
-    def allocate(self, block: int, completion: float) -> bool:
-        """Track an in-flight fill; returns True for a fresh (primary) entry.
-
-        An existing entry for the block coalesces, keeping the earliest
-        data-arrival time.  (Demand misses prune a *stale* same-block entry
-        in :meth:`acquire_delay` before their fill lands here; a prefetch
-        fill landing on a stale entry merely retires one scan earlier — a
-        transient one-entry undercount on a speculative corner.)  The file
-        never grows beyond its capacity: if an un-gated fill would overflow
-        it, the earliest-retiring entry is dropped (it is the first to have
-        completed anyway).
-        """
-        inflight = self._inflight
-        if block in inflight:
-            if completion < inflight[block]:
-                inflight[block] = completion
-            return False
-        inflight[block] = completion
-        if len(inflight) > self.capacity:
-            victim = min(inflight, key=inflight.__getitem__)
-            del inflight[victim]
-        return True
-
-    # -- lifecycle ---------------------------------------------------------
-    def drain(self) -> None:
-        """Forget every in-flight entry (quiesce at a clock-domain boundary)."""
-        self._inflight.clear()
-
-    def snapshot_state(self) -> Dict[int, float]:
-        return dict(self._inflight)
-
-    def restore_state(self, snapshot: Dict[int, float]) -> None:
-        self._inflight = dict(snapshot)
-
-    def __len__(self) -> int:
-        return len(self._inflight)
 
 
 @dataclass(slots=True)
@@ -225,13 +163,32 @@ class Cache:
         self._associativity = config.associativity
         self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
         #: ``None`` when MSHRs are unbounded — the whole model is inert then.
-        self._mshr: Optional[MshrFile] = (
-            MshrFile(config.mshr_entries) if config.mshr_entries is not None else None
+        #: A banked configuration (``mshr_banks >= 2``) interleaves the file
+        #: over block-address banks and surfaces bank-conflict stalls.
+        self._mshr = self._build_mshr(config)
+        #: ``None`` when no write buffer is configured — dirty victims drain
+        #: instantly and fills are never back-pressured.
+        self._write_buffer: Optional[OccupancyQueue] = (
+            OccupancyQueue(config.write_buffer.entries)
+            if config.write_buffer is not None else None
         )
         #: MSHR wait charged to the most recent miss returned by lookup();
         #: the hierarchy adds it to the miss's issue time toward the next
         #: level.  Stays 0 forever when the file is unbounded.
         self.last_miss_stall: float = 0.0
+        #: Write-buffer wait charged to the most recent fill that evicted a
+        #: dirty victim while the buffer was full; the hierarchy adds it to
+        #: the access's ready time (back-pressure) and to the victim's drain
+        #: start.  Stays 0 forever without a buffer.
+        self.last_wb_stall: float = 0.0
+
+    @staticmethod
+    def _build_mshr(config: CacheConfig):
+        if config.mshr_entries is None:
+            return None
+        if config.mshr_banks is not None and config.mshr_banks > 1:
+            return BankedMshrFile(config.mshr_entries, config.mshr_banks)
+        return MshrFile(config.mshr_entries)
 
     # -- address helpers -------------------------------------------------
     def _index_tag(self, address: int) -> Tuple[int, int]:
@@ -268,6 +225,9 @@ class Cache:
                 if stall > 0:
                     stats.mshr_stall_cycles += stall
                     stats.mshr_stalls += 1
+                    if mshr.last_conflict:
+                        stats.mshr_bank_conflicts += 1
+                        stats.mshr_bank_conflict_cycles += stall
             return None
         stats.hits += 1
         line.last_use = now
@@ -295,7 +255,15 @@ class Cache:
         cycle the triggering miss issued; it lets the peak-occupancy
         telemetry retire completed entries before measuring (without it the
         lazily-pruned map size is used, an upper bound).
+
+        With a write buffer configured, a fill that evicts a dirty victim
+        while the buffer is full is *back-pressured*: the wait for a free
+        slot lands in :attr:`last_wb_stall` (the hierarchy adds it to the
+        access's ready time and the victim's drain start) and the incoming
+        line's availability shifts by the same amount.
         """
+        if self._write_buffer is not None:
+            self.last_wb_stall = 0.0
         block = address // self._block_bytes
         index = block % self._num_sets
         tag = block // self._num_sets
@@ -307,14 +275,9 @@ class Cache:
         if mshr is not None and allocate_mshr:
             if mshr.allocate(block, fill_time):
                 stats.mshr_allocations += 1
-                # Only measure when the lazy size exceeds the recorded peak
-                # (the retire scan is then amortised over genuine highs).
-                if len(mshr) > stats.mshr_peak_occupancy:
-                    occupancy = (
-                        mshr.occupancy(now) if now is not None else len(mshr)
-                    )
-                    if occupancy > stats.mshr_peak_occupancy:
-                        stats.mshr_peak_occupancy = occupancy
+                stats.mshr_peak_occupancy = probe_peak(
+                    mshr, now, stats.mshr_peak_occupancy
+                )
             else:
                 stats.mshr_coalesced += 1
         line = cache_set.get(tag)
@@ -340,6 +303,18 @@ class Cache:
                     self.stats.writebacks += 1
                     victim_block = victim_tag * self._num_sets + index
                     victim_writeback = victim_block * self._block_bytes
+                    wb = self._write_buffer
+                    if wb is not None:
+                        # The victim needs a buffer slot at eviction time
+                        # (the fill's arrival).  A full buffer stalls the
+                        # fill until the earliest drain completes; the freed
+                        # slot is consumed by the follow-up writeback_admit.
+                        wb_stall = wb.reserve_delay(fill_time)
+                        self.last_wb_stall = wb_stall
+                        if wb_stall > 0:
+                            stats.wb_stalls += 1
+                            stats.wb_stall_cycles += wb_stall
+                            fill_time += wb_stall
 
         cache_set[tag] = _Line(
             tag=tag,
@@ -355,32 +330,68 @@ class Cache:
         self._sets = [dict() for _ in range(self.config.num_sets)]
         if self._mshr is not None:
             self._mshr.drain()
+        if self._write_buffer is not None:
+            self._write_buffer.drain()
 
-    # -- MSHR helpers ------------------------------------------------------
-    def mshr_available(self, now: float) -> bool:
+    # -- MSHR / write-buffer helpers ---------------------------------------
+    def mshr_available(self, now: float, address: Optional[int] = None) -> bool:
         """Whether a prefetch could allocate an MSHR entry at cycle ``now``.
 
         Demand misses stall for a free entry; prefetches are speculative and
-        are dropped instead (the caller checks this before issuing).
+        are dropped instead (the caller checks this before issuing).  With a
+        banked file the question is asked of ``address``'s bank — the slot
+        that would actually be allocated.
         """
         mshr = self._mshr
-        return mshr is None or mshr.available(now)
+        if mshr is None:
+            return True
+        if address is None:
+            return mshr.available(now)
+        return mshr.available(now, address // self._block_bytes)
 
     def mshr_occupancy(self, now: float) -> int:
         """In-flight misses at cycle ``now`` (0 when unbounded)."""
         return 0 if self._mshr is None else self._mshr.occupancy(now)
 
+    @property
+    def has_write_buffer(self) -> bool:
+        return self._write_buffer is not None
+
+    def writeback_admit(self, completion: float, at: Optional[float] = None) -> None:
+        """Admit one dirty victim into the write buffer (no-op without one).
+
+        ``completion`` is when the victim's write lands at the next level
+        down (or DRAM) — the slot is held until then.  ``at`` is the drain
+        start time, used to retire completed entries before the peak-
+        occupancy telemetry measures.
+        """
+        wb = self._write_buffer
+        if wb is None:
+            return
+        wb.push(completion)
+        stats = self.stats
+        stats.wb_enqueued += 1
+        stats.wb_peak_occupancy = probe_peak(wb, at, stats.wb_peak_occupancy)
+
+    def wb_occupancy(self, now: float) -> int:
+        """Buffered victim writebacks still draining at cycle ``now``."""
+        return 0 if self._write_buffer is None else self._write_buffer.occupancy(now)
+
     def drain_mshrs(self) -> None:
-        """Quiesce the file: used at simulated-clock-domain boundaries
-        (end of cache warmup, look-ahead/main-thread pass handoffs) where
-        access timestamps restart and stale arrival times would otherwise
-        alias into the new time base."""
+        """Quiesce every occupancy resource of this level: used at
+        simulated-clock-domain boundaries (end of cache warmup, look-ahead/
+        main-thread pass handoffs) where access timestamps restart and stale
+        completion times would otherwise alias into the new time base.  The
+        write buffer quiesces alongside the MSHR file for the same reason."""
         if self._mshr is not None:
             self._mshr.drain()
+        if self._write_buffer is not None:
+            self._write_buffer.drain()
         self.last_miss_stall = 0.0
+        self.last_wb_stall = 0.0
 
     # -- state snapshot (warm-memory memoization) --------------------------
-    def snapshot_state(self) -> Tuple[list, dict, Optional[dict]]:
+    def snapshot_state(self) -> Tuple[list, dict, Optional[dict], Optional[tuple]]:
         """An immutable-by-convention copy of all mutable cache state.
 
         Used by the warmed-memory memo (:mod:`repro.core.system`): the state
@@ -394,11 +405,15 @@ class Cache:
             for cache_set in self._sets
         ]
         mshr = self._mshr.snapshot_state() if self._mshr is not None else None
-        return sets, dict(vars(self.stats)), mshr
+        wb = (
+            self._write_buffer.snapshot_state()
+            if self._write_buffer is not None else None
+        )
+        return sets, dict(vars(self.stats)), mshr, wb
 
-    def restore_state(self, snapshot: Tuple[list, dict, Optional[dict]]) -> None:
+    def restore_state(self, snapshot) -> None:
         """Restore state captured by :meth:`snapshot_state` (same geometry)."""
-        sets, stats, mshr = snapshot
+        sets, stats, mshr, wb = snapshot
         self._sets = [
             {tag: _Line(*fields) for tag, fields in cache_set.items()}
             for cache_set in sets
@@ -406,7 +421,11 @@ class Cache:
         for name, value in stats.items():
             setattr(self.stats, name, value)
         if self._mshr is not None:
-            self._mshr.restore_state(mshr or {})
+            self._mshr.restore_state(mshr if mshr is not None else {})
+        if self._write_buffer is not None:
+            self._write_buffer.restore_state(
+                wb if wb is not None else ({}, 0)
+            )
 
     @property
     def occupancy(self) -> int:

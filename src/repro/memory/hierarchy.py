@@ -1,4 +1,13 @@
-"""Composition of the cache levels into per-core and shared memory systems."""
+"""Composition of the cache levels into per-core and shared memory systems.
+
+This module is also where the memory backend's *telemetry spine* is
+assembled: every contention resource (per-level MSHR files and write
+buffers, the DRAM controller queues) reports through one uniform per-level
+dict shape (:func:`level_telemetry` / :func:`dram_telemetry`), which
+``SimulationOutcome.memsys`` / ``DlaOutcome.memsys`` carry out of a
+simulation.  New resources should extend these dicts rather than grow
+bespoke counter plumbing.
+"""
 
 from __future__ import annotations
 
@@ -27,6 +36,46 @@ def _mshr_counters(cache: Cache) -> Dict[str, int]:
         "coalesced": stats.mshr_coalesced,
         "peak_occupancy": stats.mshr_peak_occupancy,
         "prefetches_dropped": stats.prefetches_dropped,
+        "bank_conflicts": stats.mshr_bank_conflicts,
+        "bank_conflict_cycles": stats.mshr_bank_conflict_cycles,
+    }
+
+
+def _write_buffer_counters(cache: Cache) -> Dict[str, int]:
+    """The write-buffer slice of one cache's stats."""
+    stats = cache.stats
+    return {
+        "enqueued": stats.wb_enqueued,
+        "stalls": stats.wb_stalls,
+        "stall_cycles": stats.wb_stall_cycles,
+        "peak_occupancy": stats.wb_peak_occupancy,
+    }
+
+
+def level_telemetry(cache: Cache) -> Dict[str, object]:
+    """One cache level's slice of the unified ``memsys`` telemetry dict."""
+    return {
+        "mshr": _mshr_counters(cache),
+        "write_buffer": _write_buffer_counters(cache),
+        "writebacks": cache.stats.writebacks,
+        "evictions": cache.stats.evictions,
+    }
+
+
+def dram_telemetry(dram: DramModel) -> Dict[str, object]:
+    """The DRAM slice of the unified ``memsys`` telemetry dict."""
+    stats = dram.stats
+    return {
+        "traffic": dram.traffic_breakdown(),
+        "row_hits": stats.row_hits,
+        "row_misses": stats.row_misses,
+        "row_hit_rate": stats.row_hit_rate,
+        "busy_delay_cycles": stats.busy_delay_cycles,
+        "queue": {
+            "stalls": stats.queue_stalls,
+            "stall_cycles": stats.queue_stall_cycles,
+            "peak_occupancy": stats.queue_peak_occupancy,
+        },
     }
 
 
@@ -44,6 +93,11 @@ class AccessResult:
     l1_miss: bool
     #: True when the access had to go all the way to DRAM.
     dram_access: bool
+
+    @property
+    def source(self) -> str:
+        """Alias of :attr:`supplied_by` (the level that sourced the data)."""
+        return self.supplied_by
 
 
 @dataclass
@@ -65,23 +119,43 @@ class MemoryHierarchyConfig:
 class SharedMemorySystem:
     """The shared L3 plus main memory, used by every core in the system."""
 
-    def __init__(self, config: MemoryHierarchyConfig = None) -> None:
-        self.config = config or MemoryHierarchyConfig()
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None) -> None:
+        self.config = config if config is not None else MemoryHierarchyConfig()
         self.l3 = Cache(self.config.l3)
         self.dram = DramModel(self.config.dram)
 
-    def access(self, address: int, now: int, is_write: bool = False) -> AccessResult:
+    def access(self, address: int, now: int, is_write: bool = False,
+               source: str = "demand") -> AccessResult:
         """Access that already missed the private levels of some core."""
         ready = self.l3.lookup(address, now, is_write)
         if ready is not None:
             return AccessResult(ready, ready - now, "l3", l1_miss=True, dram_access=False)
         # A full L3 MSHR file delays when the miss can be sent to memory.
         issue = now + self.l3.last_miss_stall + self.config.l3.latency
-        dram_ready = self.dram.access(address, issue, is_write)
+        dram_ready = self.dram.access(address, issue, is_write, source=source)
         writeback = self.l3.fill(address, dram_ready, dirty=is_write, now=now)
+        ready = dram_ready
         if writeback is not None:
-            self.dram.access(writeback, dram_ready, is_write=True)
-        return AccessResult(dram_ready, dram_ready - now, "dram", l1_miss=True, dram_access=True)
+            self._spill_l3_victim(writeback, dram_ready)
+            # A full write buffer back-pressures the fill (and therefore the
+            # demand data) by the same wait the victim spent queueing.
+            wb_stall = self.l3.last_wb_stall
+            if wb_stall:
+                ready = dram_ready + wb_stall
+        return AccessResult(ready, ready - now, "dram", l1_miss=True, dram_access=True)
+
+    def _spill_l3_victim(self, victim_address: int, fill_time: float) -> None:
+        """Drain one dirty L3 victim to DRAM (write-buffer aware).
+
+        The write is tagged ``source="writeback"`` so the traffic split can
+        separate it from demand stores; with a write buffer configured the
+        victim occupies a buffer slot until the DRAM write completes.
+        """
+        wb_stall = self.l3.last_wb_stall
+        drain_start = fill_time + wb_stall if wb_stall else fill_time
+        done = self.dram.access(victim_address, drain_start, is_write=True,
+                                source="writeback")
+        self.l3.writeback_admit(done, at=drain_start)
 
     def access_for_prefetch(self, address: int, now: int) -> Optional[AccessResult]:
         """Like :meth:`access`, but for speculative (prefetch) traffic.
@@ -93,10 +167,10 @@ class SharedMemorySystem:
         demand entry, or count a demand ``mshr_stall``.  With a free file
         (or an unbounded one) the behaviour is exactly :meth:`access`.
         """
-        if not self.l3.probe(address) and not self.l3.mshr_available(now):
+        if not self.l3.probe(address) and not self.l3.mshr_available(now, address):
             self.l3.stats.prefetches_dropped += 1
             return None
-        return self.access(address, now)
+        return self.access(address, now, source="prefetch")
 
     def prefetch(self, address: int, now: int) -> Optional[int]:
         """Install ``address`` into L3 (if absent); returns its fill time.
@@ -106,20 +180,36 @@ class SharedMemorySystem:
         """
         if self.l3.probe(address):
             return now
-        if not self.l3.mshr_available(now):
+        if not self.l3.mshr_available(now, address):
             self.l3.stats.prefetches_dropped += 1
             return None
-        dram_ready = self.dram.access(address, now + self.config.l3.latency)
-        self.l3.fill(address, dram_ready, from_prefetch=True, now=now)
+        dram_ready = self.dram.access(address, now + self.config.l3.latency,
+                                      source="prefetch")
+        writeback = self.l3.fill(address, dram_ready, from_prefetch=True, now=now)
+        # Dirty victims of speculative installs historically vanished; the
+        # write-buffer model makes them drain like any other writeback.
+        # Without a buffer the legacy drop is kept (bit-identical timing).
+        if writeback is not None and self.l3.has_write_buffer:
+            self._spill_l3_victim(writeback, dram_ready)
         return dram_ready
 
     def drain_mshrs(self) -> None:
-        """Quiesce the L3 MSHR file at a simulated-clock-domain boundary."""
+        """Quiesce every shared-level contention resource (L3 MSHRs and
+        write buffer, DRAM controller queues) at a simulated-clock-domain
+        boundary."""
         self.l3.drain_mshrs()
+        self.dram.drain_queues()
 
     def mshr_telemetry(self) -> Dict[str, Dict[str, int]]:
         """Per-level MSHR counters of the shared system (keyed ``"l3"``)."""
         return {"l3": _mshr_counters(self.l3)}
+
+    def memsys_telemetry(self) -> Dict[str, Dict[str, object]]:
+        """The shared system's slice of the unified ``memsys`` dict."""
+        return {
+            "l3": level_telemetry(self.l3),
+            "dram": dram_telemetry(self.dram),
+        }
 
     # -- state snapshot (warm-memory memoization) --------------------------
     def snapshot_state(self) -> tuple:
@@ -135,6 +225,11 @@ class SharedMemorySystem:
         """Total DRAM transfers (the memory-traffic metric of Fig. 12b)."""
         return self.dram.traffic
 
+    def traffic_breakdown(self) -> Dict[str, int]:
+        """Per-source read/write split of :attr:`traffic` — in particular
+        the dirty-victim writebacks that the aggregate count used to hide."""
+        return self.dram.traffic_breakdown()
+
 
 class CoreMemorySystem:
     """Private L1 I/D, L2 and TLB of one core, backed by a shared system.
@@ -145,9 +240,9 @@ class CoreMemorySystem:
     """
 
     def __init__(self, shared: SharedMemorySystem,
-                 config: MemoryHierarchyConfig = None,
+                 config: Optional[MemoryHierarchyConfig] = None,
                  lookahead_mode: bool = False) -> None:
-        self.config = config or shared.config
+        self.config = config if config is not None else shared.config
         self.shared = shared
         self.lookahead_mode = lookahead_mode
         self.l1i = Cache(self.config.l1i, lookahead_mode=lookahead_mode)
@@ -178,16 +273,30 @@ class CoreMemorySystem:
         l2_ready = self.l2.lookup(address, issue, is_write)
         if l2_ready is not None:
             self._fill_l1(l1, address, l2_ready, is_write, now)
-            return AccessResult(l2_ready, l2_ready - now, "l2", l1_miss=True, dram_access=False)
+            ready = l2_ready
+            wb_stall = l1.last_wb_stall
+            if wb_stall:
+                ready = l2_ready + wb_stall
+            return AccessResult(ready, ready - now, "l2", l1_miss=True, dram_access=False)
 
         shared_result = self.shared.access(
             address, issue + self.l2.last_miss_stall + self.l2.config.latency, is_write
         )
         self._fill_l2(address, shared_result.ready_cycle, is_write, now)
+        # Capture the L2 fill's back-pressure *before* the L1 fill runs: a
+        # dirty L1 victim spilling into L2 below would overwrite
+        # l2.last_wb_stall with the victim install's own (separately
+        # charged) wait.
+        l2_wb_stall = self.l2.last_wb_stall
         self._fill_l1(l1, address, shared_result.ready_cycle, is_write, now)
+        ready = shared_result.ready_cycle
+        # Full write buffers back-pressure the fills on the way up.
+        wb_stall = l2_wb_stall + l1.last_wb_stall
+        if wb_stall:
+            ready += wb_stall
         return AccessResult(
-            shared_result.ready_cycle,
-            shared_result.ready_cycle - now,
+            ready,
+            ready - now,
             shared_result.supplied_by,
             l1_miss=True,
             dram_access=shared_result.dram_access,
@@ -197,16 +306,42 @@ class CoreMemorySystem:
                  now: Optional[float] = None) -> None:
         writeback = l1.fill(address, fill_time, dirty=dirty, now=now)
         if writeback is not None and not self.lookahead_mode:
-            # Victim writebacks carry data that is already on chip: they
-            # never occupy a miss register.
-            self.l2.fill(writeback, fill_time, dirty=True, allocate_mshr=False)
+            self._spill_l1_victim(l1, writeback, fill_time)
 
     def _fill_l2(self, address: int, fill_time: int, dirty: bool,
                  now: Optional[float] = None) -> None:
         writeback = self.l2.fill(address, fill_time, dirty=dirty, now=now)
         if writeback is not None and not self.lookahead_mode:
-            # Dirty L2 victims go to the shared system as write traffic.
-            self.shared.dram.access(writeback, fill_time, is_write=True)
+            self._spill_l2_victim(writeback, fill_time)
+
+    def _spill_l1_victim(self, l1: Cache, victim_address: int,
+                         fill_time: float) -> None:
+        """Route one dirty L1 victim into L2 (write-buffer aware).
+
+        Victim writebacks carry data that is already on chip: they never
+        occupy a miss register.  With a write buffer on the L1, the victim
+        holds a buffer slot until its write lands in L2 (one L2 hit latency
+        after the drain starts).
+        """
+        wb_stall = l1.last_wb_stall
+        drain_start = fill_time + wb_stall if wb_stall else fill_time
+        cascade = self.l2.fill(victim_address, drain_start, dirty=True,
+                               allocate_mshr=False)
+        l1.writeback_admit(drain_start + self.l2.config.latency, at=drain_start)
+        # The incoming victim can displace a dirty L2 line in turn.  Without
+        # a write buffer this cascade victim is dropped (the legacy,
+        # bit-identical behaviour); with one it drains to DRAM like any
+        # other L2 writeback.
+        if cascade is not None and self.l2.has_write_buffer:
+            self._spill_l2_victim(cascade, drain_start)
+
+    def _spill_l2_victim(self, victim_address: int, fill_time: float) -> None:
+        """Drain one dirty L2 victim to DRAM as write traffic."""
+        wb_stall = self.l2.last_wb_stall
+        drain_start = fill_time + wb_stall if wb_stall else fill_time
+        done = self.shared.dram.access(victim_address, drain_start,
+                                       is_write=True, source="writeback")
+        self.l2.writeback_admit(done, at=drain_start)
 
     # ------------------------------------------------------------------
     # prefetch path
@@ -240,13 +375,17 @@ class CoreMemorySystem:
         """
         if l1.probe(address):
             return now
-        if not l1.mshr_available(now):
+        if not l1.mshr_available(now, address):
             l1.stats.prefetches_dropped += 1
             return None
         fill_time = self._prefetch_fill_time_from_l2(address, now)
         if fill_time is None:
             return None
-        l1.fill(address, fill_time, from_prefetch=True, now=now)
+        writeback = l1.fill(address, fill_time, from_prefetch=True, now=now)
+        # Dirty victims of speculative installs historically vanished; the
+        # write-buffer model drains them, the legacy path keeps the drop.
+        if writeback is not None and not self.lookahead_mode and l1.has_write_buffer:
+            self._spill_l1_victim(l1, writeback, fill_time)
         return fill_time
 
     def _prefetch_fill_time_from_l2(self, address: int, now: int) -> Optional[int]:
@@ -254,7 +393,7 @@ class CoreMemorySystem:
         gated, when absent); ``None`` when any level refused the request."""
         if self.l2.probe(address):
             return now + self.l2.config.latency
-        if not self.l2.mshr_available(now):
+        if not self.l2.mshr_available(now, address):
             self.l2.stats.prefetches_dropped += 1
             return None
         shared_result = self.shared.access_for_prefetch(
@@ -263,7 +402,9 @@ class CoreMemorySystem:
         if shared_result is None:   # refused at L3 (file full)
             return None
         fill_time = shared_result.ready_cycle
-        self.l2.fill(address, fill_time, from_prefetch=True, now=now)
+        writeback = self.l2.fill(address, fill_time, from_prefetch=True, now=now)
+        if writeback is not None and not self.lookahead_mode and self.l2.has_write_buffer:
+            self._spill_l2_victim(writeback, fill_time)
         return fill_time
 
     def prefill_tlb(self, address: int, now: int) -> None:
@@ -289,7 +430,8 @@ class CoreMemorySystem:
 
     # ------------------------------------------------------------------
     def drain_mshrs(self) -> None:
-        """Quiesce every private level's MSHR file (clock-domain boundary)."""
+        """Quiesce every private level's contention resources (MSHR files
+        and write buffers) at a simulated-clock-domain boundary."""
         self.l1i.drain_mshrs()
         self.l1d.drain_mshrs()
         self.l2.drain_mshrs()
@@ -300,6 +442,14 @@ class CoreMemorySystem:
             "l1i": _mshr_counters(self.l1i),
             "l1d": _mshr_counters(self.l1d),
             "l2": _mshr_counters(self.l2),
+        }
+
+    def memsys_telemetry(self) -> Dict[str, Dict[str, object]]:
+        """The private levels' slice of the unified ``memsys`` dict."""
+        return {
+            "l1i": level_telemetry(self.l1i),
+            "l1d": level_telemetry(self.l1d),
+            "l2": level_telemetry(self.l2),
         }
 
     # ------------------------------------------------------------------

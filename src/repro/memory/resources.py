@@ -1,0 +1,358 @@
+"""Shared occupancy/contention primitives of the memory backend.
+
+Every finite buffering resource in the memory system — MSHR files, victim
+write buffers, DRAM read/write queues — meters the same physical phenomenon:
+a bounded set of slots, each held from admission until a completion
+timestamp passes.  The simulator is trace-driven rather than event-driven,
+so all of them share one *lazy timestamp* model implemented here once:
+
+:class:`OccupancyResource`
+    The generic keyed resource.  An entry is a ``key -> completion cycle``
+    pair that logically occupies a slot until its completion time passes;
+    entries behind the current access time have retired and are pruned on
+    demand.  A full resource makes the next admission wait for the earliest
+    entry to retire (the freed slot is consumed immediately, so back-to-back
+    stalled admissions queue behind one another).
+
+:class:`MshrFile`
+    The miss-status-holding registers of one cache level — an
+    ``OccupancyResource`` client keyed by block address, where a second
+    admission for an in-flight key *coalesces* (keeping the earliest
+    arrival) instead of taking a second slot.
+
+:class:`BankedMshrFile`
+    An address-interleaved array of :class:`MshrFile` banks.  A miss can
+    stall on its bank while other banks still have room — a *bank conflict*,
+    surfaced separately from capacity stalls via :attr:`last_conflict`.
+
+:class:`OccupancyQueue`
+    The anonymous (un-keyed) variant used by write buffers and DRAM queues:
+    entries are internally tokenised, so nothing ever coalesces and the
+    resource behaves as a bounded multiset of completion times.
+
+Keeping one implementation is what makes the telemetry spine uniform: every
+client counts the same events (admissions, stalls, stall cycles, peak
+occupancy) with the same semantics, and the per-level ``memsys`` telemetry
+dicts assembled by :mod:`repro.memory.hierarchy` read the counters through
+one vocabulary instead of a bespoke set per resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+def probe_peak(resource, now: Optional[float], recorded: int) -> int:
+    """Amortised high-water-mark probe shared by every resource's telemetry.
+
+    Only measures when the resource's *lazy* size (an upper bound) exceeds
+    the recorded peak, so the retire scan is amortised over genuine highs;
+    without a probe time the lazy size itself is used.  ``resource`` is
+    anything with ``__len__`` and ``occupancy(now)`` — plain resources and
+    banked files alike.
+    """
+    if len(resource) <= recorded:
+        return recorded
+    occupancy = resource.occupancy(now) if now is not None else len(resource)
+    return occupancy if occupancy > recorded else recorded
+
+
+class OccupancyResource:
+    """A bounded set of slots held until per-entry completion timestamps pass.
+
+    The capacity must be positive; "unbounded" is expressed by *not building
+    the resource at all* (clients keep a ``None`` and skip the model), which
+    keeps the uncontended timing path bit-identical to a machine without the
+    resource.
+    """
+
+    __slots__ = ("capacity", "_inflight")
+
+    #: Whether the most recent non-zero delay was a bank conflict rather than
+    #: a capacity stall.  Plain resources never set it; the banked MSHR file
+    #: overrides it per stall.  A class attribute keeps the common read free.
+    last_conflict = False
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(
+                "resource capacity must be positive (unbounded = no resource)"
+            )
+        self.capacity = capacity
+        self._inflight: Dict[int, float] = {}
+
+    # -- occupancy ---------------------------------------------------------
+    def _retire(self, now: float) -> None:
+        inflight = self._inflight
+        if inflight:
+            for key in [k for k, t in inflight.items() if t <= now]:
+                del inflight[key]
+
+    def occupancy(self, now: float) -> int:
+        """Entries still in flight at cycle ``now``."""
+        self._retire(now)
+        return len(self._inflight)
+
+    def available(self, now: float, key: Optional[int] = None) -> bool:
+        """Whether a new entry could be admitted at cycle ``now``.
+
+        The full retire scan only runs when the resource looks full — the
+        common uncontended case is a single length check.  ``key`` is
+        accepted (and ignored) so that address-routed clients can ask the
+        same question of banked and un-banked resources uniformly.
+        """
+        if len(self._inflight) < self.capacity:
+            return True
+        self._retire(now)
+        return len(self._inflight) < self.capacity
+
+    # -- admission ---------------------------------------------------------
+    def acquire_delay(self, key: int, now: float) -> float:
+        """Cycles a new admission for ``key`` must wait for a free slot.
+
+        An in-flight entry for the same key coalesces and never stalls.  A
+        key whose earlier flight already completed is treated as a fresh
+        admission, not coalesced onto the stale entry (which would occupy no
+        slot and keep the stale completion time); stale pruning is per-key
+        here and the full retire scan only runs when the resource looks
+        full, keeping the uncontended path O(1).  A full resource pops its
+        earliest-retiring entry and charges the wait: the caller is
+        guaranteed to follow up with an :meth:`admit`, which takes over the
+        freed slot.
+        """
+        inflight = self._inflight
+        arrival = inflight.get(key)
+        if arrival is not None:
+            if arrival > now:
+                return 0.0
+            del inflight[key]
+        return self._full_delay(now)
+
+    def _full_delay(self, now: float) -> float:
+        """Wait until the earliest entry retires when no slot is free.
+
+        A full resource pops its earliest-retiring entry and charges the
+        wait; the caller is guaranteed to follow up with an admission that
+        takes over the freed slot (so back-to-back stalls queue behind one
+        another).  This one tail is shared by every stall computation —
+        keyed (:meth:`acquire_delay`) and anonymous
+        (:meth:`OccupancyQueue.reserve_delay`) — so the stall semantics of
+        MSHR files, write buffers and DRAM queues cannot diverge.
+        """
+        inflight = self._inflight
+        if len(inflight) < self.capacity:
+            return 0.0
+        self._retire(now)
+        if len(inflight) < self.capacity:
+            return 0.0
+        earliest_key = min(inflight, key=inflight.__getitem__)
+        earliest = inflight.pop(earliest_key)
+        return earliest - now
+
+    def admit(self, key: int, completion: float) -> bool:
+        """Track an in-flight entry; returns True for a fresh admission.
+
+        An existing entry for the key coalesces, keeping the earliest
+        completion time.  The resource never grows beyond its capacity: if
+        an un-gated admission would overflow it, the earliest-retiring entry
+        is dropped (it is the first to have completed anyway).
+        """
+        inflight = self._inflight
+        if key in inflight:
+            if completion < inflight[key]:
+                inflight[key] = completion
+            return False
+        inflight[key] = completion
+        if len(inflight) > self.capacity:
+            victim = min(inflight, key=inflight.__getitem__)
+            del inflight[victim]
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self) -> None:
+        """Forget every in-flight entry (quiesce at a clock-domain boundary)."""
+        self._inflight.clear()
+
+    def snapshot_state(self) -> Dict[int, float]:
+        return dict(self._inflight)
+
+    def restore_state(self, snapshot: Dict[int, float]) -> None:
+        self._inflight = dict(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+
+class MshrFile(OccupancyResource):
+    """Miss-status-holding registers of one cache level.
+
+    A direct :class:`OccupancyResource` client keyed by block number: a
+    primary miss allocates an entry held until its fill time passes, a
+    secondary fill for an in-flight block coalesces onto the existing entry
+    instead of allocating a second one, and a full file stalls further
+    primary misses (:meth:`acquire_delay`).
+    """
+
+    __slots__ = ()
+
+    def acquire_delay(self, block: int, now: float) -> float:
+        """Cycles a primary miss for ``block`` must wait for a free entry.
+
+        Secondary misses (the block is already in flight — e.g. it was
+        evicted while its refill was outstanding) coalesce and never stall;
+        see :meth:`OccupancyResource.acquire_delay` for the full contract.
+        """
+        return OccupancyResource.acquire_delay(self, block, now)
+
+    def allocate(self, block: int, completion: float) -> bool:
+        """Track an in-flight fill; returns True for a fresh (primary) entry.
+
+        An existing entry for the block coalesces, keeping the earliest
+        data-arrival time.  (Demand misses prune a *stale* same-block entry
+        in :meth:`acquire_delay` before their fill lands here; a prefetch
+        fill landing on a stale entry merely retires one scan earlier — a
+        transient one-entry undercount on a speculative corner.)
+        """
+        return OccupancyResource.admit(self, block, completion)
+
+
+class BankedMshrFile:
+    """Address-interleaved MSHR banks: ``bank = block % num_banks``.
+
+    The total capacity is split evenly across the banks (``entries`` must be
+    divisible by ``banks``), so a machine with ``mshr_banks=1`` is exactly
+    the single :class:`MshrFile`.  Banking introduces a second stall cause:
+    a miss whose bank is full waits even while other banks have free slots.
+    Such *bank conflicts* are flagged on :attr:`last_conflict` after each
+    non-zero :meth:`acquire_delay` so the cache can count them separately
+    from whole-file capacity stalls.
+    """
+
+    __slots__ = ("capacity", "num_banks", "_banks", "last_conflict")
+
+    def __init__(self, entries: int, banks: int) -> None:
+        if banks <= 0:
+            raise ValueError("MSHR bank count must be positive")
+        if entries % banks:
+            raise ValueError(
+                f"MSHR entries ({entries}) must divide evenly across "
+                f"{banks} banks"
+            )
+        self.capacity = entries
+        self.num_banks = banks
+        self._banks: List[MshrFile] = [
+            MshrFile(entries // banks) for _ in range(banks)
+        ]
+        self.last_conflict = False
+
+    def _bank(self, block: int) -> MshrFile:
+        return self._banks[block % self.num_banks]
+
+    # -- admission ---------------------------------------------------------
+    def acquire_delay(self, block: int, now: float) -> float:
+        bank = self._bank(block)
+        delay = bank.acquire_delay(block, now)
+        if delay > 0.0:
+            self.last_conflict = any(
+                other is not bank and other.available(now)
+                for other in self._banks
+            )
+        else:
+            self.last_conflict = False
+        return delay
+
+    def allocate(self, block: int, completion: float) -> bool:
+        return self._bank(block).allocate(block, completion)
+
+    def available(self, now: float, key: Optional[int] = None) -> bool:
+        """Whether an admission could proceed at ``now``.
+
+        With a ``key`` (block number) the question is asked of that block's
+        bank — the answer that actually gates an address-routed prefetch.
+        Without one, any bank with room counts as available.
+        """
+        if key is not None:
+            return self._bank(key).available(now)
+        return any(bank.available(now) for bank in self._banks)
+
+    def occupancy(self, now: float) -> int:
+        return sum(bank.occupancy(now) for bank in self._banks)
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self) -> None:
+        for bank in self._banks:
+            bank.drain()
+        self.last_conflict = False
+
+    def snapshot_state(self) -> Tuple[Dict[int, float], ...]:
+        return tuple(bank.snapshot_state() for bank in self._banks)
+
+    def restore_state(self, snapshot) -> None:
+        # A single-dict snapshot (from an un-banked file) restores into bank
+        # order by key, which never occurs in practice: geometry is part of
+        # every snapshot key.  Enforce the matching shape instead.
+        if not isinstance(snapshot, tuple) or len(snapshot) != self.num_banks:
+            raise ValueError("banked MSHR snapshot does not match bank count")
+        for bank, state in zip(self._banks, snapshot):
+            bank.restore_state(state)
+
+    def __len__(self) -> int:
+        return sum(len(bank) for bank in self._banks)
+
+
+class OccupancyQueue(OccupancyResource):
+    """Anonymous bounded queue of completion timestamps.
+
+    Used where entries have no meaningful identity — victim write buffers
+    and DRAM read/write queues.  Entries are tokenised internally, so
+    nothing ever coalesces: each :meth:`push` takes a real slot until its
+    completion time passes.  :meth:`reserve_delay` is the anonymous analogue
+    of :meth:`~OccupancyResource.acquire_delay` (no per-key pruning), with
+    the same contract: a popped slot must be consumed by a follow-up
+    :meth:`push`.
+    """
+
+    __slots__ = ("_next_token",)
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._next_token = 0
+
+    def reserve_delay(self, now: float) -> float:
+        return self._full_delay(now)
+
+    def push(self, completion: float) -> None:
+        token = self._next_token
+        self._next_token = token + 1
+        self.admit(token, completion)
+
+    def snapshot_state(self) -> Tuple[Dict[int, float], int]:
+        return dict(self._inflight), self._next_token
+
+    def restore_state(self, snapshot: Tuple[Dict[int, float], int]) -> None:
+        inflight, next_token = snapshot
+        self._inflight = dict(inflight)
+        self._next_token = next_token
+
+
+@dataclass
+class WriteBufferConfig:
+    """Victim write buffer of one cache level.
+
+    Dirty victims evicted from the level enter the buffer and occupy a slot
+    until their write completes at the next level down (or DRAM); while the
+    buffer is full, fills that would evict another dirty victim are
+    back-pressured.  ``None`` in :attr:`~repro.memory.cache.CacheConfig
+    .write_buffer` means no buffer is modelled — victims drain instantly,
+    bit-identical to the pre-model machine.
+    """
+
+    #: Number of in-flight victim writebacks the level can buffer.
+    entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError(
+                "write buffer entries must be positive (no buffer = None)"
+            )

@@ -9,7 +9,7 @@ fixed page-walk penalty; a ``prefill`` entry point implements the hint path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -35,7 +35,7 @@ class TlbStats:
 class Tlb:
     """Fully-associative LRU TLB."""
 
-    def __init__(self, config: TlbConfig = None) -> None:
+    def __init__(self, config: Optional[TlbConfig] = None) -> None:
         self.config = config or TlbConfig()
         self.stats = TlbStats()
         self._entries: Dict[int, int] = {}   # vpn -> last-use time

@@ -52,7 +52,7 @@ class BestOffsetConfig:
 class BestOffsetPrefetcher(Prefetcher):
     """Offset prefetcher with RR-table-based timeliness scoring."""
 
-    def __init__(self, config: BestOffsetConfig = None, **overrides) -> None:
+    def __init__(self, config: Optional[BestOffsetConfig] = None, **overrides) -> None:
         self.config = config or BestOffsetConfig(**overrides)
         self.target_level = self.config.target_level
         self._rr: Dict[int, int] = {}            # block -> insertion order

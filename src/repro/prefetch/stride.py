@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.prefetch.base import Prefetcher, PrefetchRequest
 
@@ -47,7 +47,7 @@ class StridePrefetcherConfig:
 class StridePrefetcher(Prefetcher):
     """Classic Chen/Baer reference prediction table with 2-step confirmation."""
 
-    def __init__(self, config: StridePrefetcherConfig = None, **overrides) -> None:
+    def __init__(self, config: Optional[StridePrefetcherConfig] = None, **overrides) -> None:
         self.config = config or StridePrefetcherConfig(**overrides)
         self.target_level = self.config.target_level
         self._table: Dict[int, _TableEntry] = {}

@@ -5,14 +5,17 @@ pool codes, heap-based unit scheduling) is a pure performance change: every
 simulation statistic must stay *bit-identical* to what the enum-property
 implementation produced.  ``tests/data/golden_equivalence.json`` holds
 reference outputs for three small kernels under BL, DLA and R3-DLA
-configurations, in two sections:
+configurations, in three sections:
 
 * ``"default"`` — the stock :class:`SystemConfig` (bounded MSHR files, the
-  shipping timing model);
+  shipping timing model; no write buffers or DRAM queues);
 * ``"unbounded"`` — every MSHR file unbounded, which makes the MSHR model
   inert.  This section's values are the original object-path capture from
-  before the MSHR model existed: their continued equality proves the model
-  is the *only* source of timing divergence.
+  before the MSHR model existed: their continued equality proves the
+  contention models are the *only* source of timing divergence;
+* ``"contended"`` — the full memory-backend contention machine (tight
+  banked MSHRs, victim write buffers, bounded DRAM controller queues),
+  pinning the banked-MSHR + write-buffer + DRAM-queue timing paths.
 
 These tests assert exact equality — no tolerances.  The golden file is
 regenerated deliberately (never by hand-editing) with
@@ -57,7 +60,38 @@ KERNELS = {
     "chase": ("pointer_chase", dict(nodes=128, hops=600, payload=8), 12),
     "branchy": ("branchy_compute", dict(elements=600, taken_bias=0.5, payload=5), 13),
 }
+#: Extra kernels captured only by the "contended" section: the stock golden
+#: kernels' timed windows contain no stores at all, so without a store-heavy
+#: kernel the write-buffer machinery would be pinned in name only.
+CONTENDED_KERNELS = {
+    "triad": ("stream_triad", dict(elements=1200, payload=4), 14),
+}
 WARMUP, TIMED = 2000, 4000
+
+
+def _contended_config() -> SystemConfig:
+    """The fully contended memory backend the "contended" section pins.
+
+    Every contention resource is tightened until it demonstrably fires on
+    the golden kernels (banked MSHRs down to one entry per bank, depth-1
+    victim write buffers, depth-1 DRAM read/write queues), and the
+    data-side caches are shrunk so the tiny kernels actually stream dirty
+    victims through the write buffers instead of fitting residently.
+    """
+    from dataclasses import replace
+
+    config = SystemConfig().with_memsys(
+        mshr_entries=2, mshr_banks=2, write_buffer_entries=1,
+        dram_queue_depth=1,
+    )
+    memory = replace(
+        config.memory,
+        l1d=replace(config.memory.l1d, size_bytes=2 * 1024),
+        l2=replace(config.memory.l2, size_bytes=8 * 1024),
+        l3=replace(config.memory.l3, size_bytes=64 * 1024),
+    )
+    return replace(config, memory=memory)
+
 
 #: Golden sections: section name -> simulation SystemConfig factory.  The
 #: training profile is always built from the stock config (matching the
@@ -65,7 +99,23 @@ WARMUP, TIMED = 2000, 4000
 SYSTEM_PROFILES = {
     "default": lambda: SystemConfig(),
     "unbounded": lambda: SystemConfig().with_mshr_entries(None),
+    "contended": _contended_config,
 }
+
+
+def section_kernels(section: str) -> dict:
+    """The kernel set one golden section captures."""
+    if section == "contended":
+        return {**KERNELS, **CONTENDED_KERNELS}
+    return KERNELS
+
+
+#: Every (section, kernel) cell of the golden matrix.
+SECTION_KERNEL_PAIRS = [
+    (section, kernel)
+    for section in sorted(SYSTEM_PROFILES)
+    for kernel in sorted(section_kernels(section))
+]
 
 
 def _core_fields(core):
@@ -119,7 +169,7 @@ def capture_dla(program, timed, warmup, profile, config, dla_config):
 def prepare_kernels():
     """Programs, trace windows and profiles, exactly as the golden capture."""
     out = {}
-    for name, (kind, kwargs, seed) in KERNELS.items():
+    for name, (kind, kwargs, seed) in {**KERNELS, **CONTENDED_KERNELS}.items():
         program = build_kernel(kind, rng=DeterministicRng(seed),
                                name=f"golden-{name}", **kwargs)
         trace = Emulator(program).run(max_instructions=WARMUP + TIMED + 1000)
@@ -147,7 +197,8 @@ def capture_golden(prepared=None):
     for section, config_factory in SYSTEM_PROFILES.items():
         config = config_factory()
         by_kernel = {}
-        for kernel, (program, warmup, timed, profile, _) in prepared.items():
+        for kernel in section_kernels(section):
+            program, warmup, timed, profile, _ = prepared[kernel]
             by_kernel[kernel] = {
                 "bl": capture_baseline(timed, warmup, config),
                 "dla": capture_dla(program, timed, warmup, profile, config,
@@ -201,8 +252,7 @@ def test_opcode_meta_table_is_total():
 # ---------------------------------------------------------------------------
 # whole-system equivalence against the captured object-path reference
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("section", sorted(SYSTEM_PROFILES))
-@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("section,kernel", SECTION_KERNEL_PAIRS)
 def test_baseline_outputs_bit_identical(golden, prepared, section, kernel):
     program, warmup, timed, profile, _ = prepared[kernel]
     config = SYSTEM_PROFILES[section]()
@@ -210,8 +260,7 @@ def test_baseline_outputs_bit_identical(golden, prepared, section, kernel):
     assert actual == golden[section][kernel]["bl"]
 
 
-@pytest.mark.parametrize("section", sorted(SYSTEM_PROFILES))
-@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("section,kernel", SECTION_KERNEL_PAIRS)
 @pytest.mark.parametrize("config_name", ["dla", "r3"])
 def test_dla_outputs_bit_identical(golden, prepared, section, kernel, config_name):
     program, warmup, timed, profile, _ = prepared[kernel]
@@ -243,7 +292,7 @@ def test_unbounded_section_pinned_to_pre_mshr_capture(golden):
 
     assert set(golden) == set(SYSTEM_PROFILES)
     for section in golden:
-        assert set(golden[section]) == set(KERNELS)
+        assert set(golden[section]) == set(section_kernels(section))
     digest = hashlib.sha256(
         json.dumps(golden["unbounded"], sort_keys=True).encode()
     ).hexdigest()

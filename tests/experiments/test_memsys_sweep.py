@@ -1,0 +1,88 @@
+"""The generalised memory-backend sweeps: wb/dramq axes and the machine
+comparison (the mshr axis keeps its own test in
+``test_fig11_cache_and_mshr_sweep.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dramq_sweep, memsys_sweep, wb_sweep
+from repro.experiments.memsys_sweep import (
+    MEMSYS_MACHINES,
+    MEMSYS_REFERENCE,
+    contention_stall_cycles,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    """One runner shared across the sweep tests: the axes' reference points
+    materialise to the same configs, so the sweeps overlap in cache."""
+    return ExperimentRunner(quick=True, workload_names=["libquantum"],
+                            warmup_instructions=600, timed_instructions=600,
+                            disk_cache=False)
+
+
+def _check_axis_result(result, labels, reference_label):
+    by_point = result.per_workload["libquantum"]
+    assert set(by_point) == set(labels)
+    assert by_point[reference_label]["bl"] == 1.0
+    assert by_point[reference_label]["r3"] == 1.0
+    for label in labels:
+        assert 0.0 < by_point[label]["bl"] <= 1.02
+        assert 0.0 < by_point[label]["r3"] <= 1.02
+        assert by_point[label]["bl_stall_cycles"] >= 0.0
+    assert result.render()
+
+
+def test_wb_sweep_normalises_to_bufferless_reference(tiny_runner):
+    result = wb_sweep.run(tiny_runner)
+    _check_axis_result(result, ["1", "2", "4", "8", "off"], "off")
+    assert result.per_workload["libquantum"]["off"]["bl_stall_cycles"] >= 0
+    tables = wb_sweep.artifact_tables(result)
+    assert set(tables) == {"sensitivity", "curve"}
+    assert len(tables["curve"]) == 5
+    assert all("wb" in row for row in tables["curve"])
+
+
+def test_dramq_sweep_normalises_to_unbounded_reference(tiny_runner):
+    result = dramq_sweep.run(tiny_runner)
+    _check_axis_result(result, ["2", "4", "8", "16", "inf"], "inf")
+    tables = dramq_sweep.artifact_tables(result)
+    assert len(tables["curve"]) == 5
+    assert all("dramq" in row for row in tables["curve"])
+
+
+def test_memsys_machine_comparison_runs_end_to_end(tiny_runner):
+    result = memsys_sweep.run(tiny_runner)
+    labels = [name for name, _knobs in MEMSYS_MACHINES]
+    by_point = result.per_workload["libquantum"]
+    assert set(by_point) == set(labels)
+    assert by_point[MEMSYS_REFERENCE]["bl"] == 1.0
+    assert by_point[MEMSYS_REFERENCE]["r3"] == 1.0
+    # The uncontended reference records zero contention waits by definition.
+    assert by_point[MEMSYS_REFERENCE]["bl_stall_cycles"] == 0.0
+    # The fully contended machine can never wait less than the machine that
+    # only tightens the MSHRs (its MSHR configuration is identical and the
+    # other resources only add waits).
+    assert by_point["contended"]["bl_stall_cycles"] >= by_point["mshr8"]["bl_stall_cycles"]
+    for label in labels:
+        assert 0.0 < by_point[label]["bl"] <= 1.02
+        assert 0.0 < by_point[label]["r3"] <= 1.02
+    tables = memsys_sweep.artifact_tables(result)
+    assert set(tables) == {"sensitivity", "curve"}
+    assert len(tables["curve"]) == len(labels)
+    assert result.render()
+
+
+def test_contention_stall_cycles_sums_every_resource():
+    memsys = {
+        "l1d": {"mshr": {"stall_cycles": 3.0},
+                "write_buffer": {"stall_cycles": 2.0}},
+        "dram": {"queue": {"stall_cycles": 5.0}, "busy_delay_cycles": 99},
+    }
+    assert contention_stall_cycles(memsys) == 10.0
+    nested = {"main": memsys, "shared": {"l3": {"mshr": {"stall_cycles": 1.0}}}}
+    assert contention_stall_cycles(nested) == 11.0
+    assert contention_stall_cycles(None) == 0.0

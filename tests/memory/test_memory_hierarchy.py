@@ -99,3 +99,89 @@ def test_prefetch_level_validation():
         pass
     else:  # pragma: no cover
         raise AssertionError("invalid prefetch level accepted")
+
+
+# ---------------------------------------------------------------------------
+# AccessResult source across every hit level, writeback counters,
+# look-ahead dirty-discard containment
+# ---------------------------------------------------------------------------
+def test_access_result_source_reports_every_supply_level():
+    shared, memory = _core_memory()
+    address = 0x90000
+
+    dram_hit = memory.access(address, 0, AccessType.LOAD)
+    assert dram_hit.supplied_by == "dram"
+    assert dram_hit.source == "dram"          # alias of supplied_by
+    assert dram_hit.l1_miss and dram_hit.dram_access
+
+    l1_hit = memory.access(address, dram_hit.ready_cycle + 1, AccessType.LOAD)
+    assert l1_hit.source == "l1"
+    assert not l1_hit.l1_miss and not l1_hit.dram_access
+
+    # A second core sharing the L3 misses its private levels but hits L3.
+    other = CoreMemorySystem(shared, shared.config)
+    l3_hit = other.access(address, 20_000, AccessType.LOAD)
+    assert l3_hit.source == "l3"
+    assert l3_hit.l1_miss and not l3_hit.dram_access
+
+    # An L2-resident block (prefetched there) supplies from L2.
+    l2_address = 0xA0000
+    memory.prefetch(l2_address, now=30_000, level="l2")
+    l2_hit = memory.access(l2_address, 40_000, AccessType.LOAD)
+    assert l2_hit.source == "l2"
+    assert l2_hit.l1_miss and not l2_hit.dram_access
+
+
+def _evict_set(memory, count, start, stride, access_type, start_cycle=0):
+    now = start_cycle
+    for i in range(count):
+        memory.access(start + i * stride, now, access_type)
+        now += 200
+    return now
+
+
+def test_writeback_counters_follow_dirty_victims_down_the_levels():
+    shared, memory = _core_memory()
+    l1d = memory.l1d
+    stride = l1d.config.num_sets * l1d.config.block_bytes
+    # Dirty more lines than one L1D set holds: victims must be written back
+    # (counted at L1D) and land dirty in L2, not silently disappear.
+    _evict_set(memory, l1d.config.associativity + 4, 0xB0000, stride,
+               AccessType.STORE)
+    assert l1d.stats.writebacks > 0
+    assert l1d.stats.writebacks <= l1d.stats.evictions
+    # Clean evictions never count as writebacks.
+    shared2, memory2 = _core_memory()
+    _evict_set(memory2, memory2.l1d.config.associativity + 4, 0xB0000, stride,
+               AccessType.LOAD)
+    assert memory2.l1d.stats.evictions > 0
+    assert memory2.l1d.stats.writebacks == 0
+
+
+def test_lookahead_dirty_discard_containment_end_to_end():
+    """cache.py's look-ahead containment: dirty victims of the speculative
+    core are discarded — no writeback counter, no downstream write traffic
+    — while the same sequence on a normal core writes its victims back."""
+    stride_of = lambda memory: (memory.l1d.config.num_sets
+                                * memory.l1d.config.block_bytes)
+
+    shared, lookahead = _core_memory(lookahead=True)
+    stride = stride_of(lookahead)
+    # Dirty one set's ways, then stream clean loads through the same set to
+    # evict them.  The store misses themselves are demand traffic; only the
+    # *eviction* behaviour differs between the cores.
+    ways = lookahead.l1d.config.associativity
+    end = _evict_set(lookahead, ways, 0xC0000, stride, AccessType.STORE)
+    writes_after_stores = shared.dram.stats.writes
+    _evict_set(lookahead, ways + 6, 0xC0000 + ways * stride, stride,
+               AccessType.LOAD, start_cycle=end)
+    assert lookahead.l1d.stats.evictions > 0
+    assert lookahead.l1d.stats.writebacks == 0
+    assert shared.dram.stats.writes == writes_after_stores
+    assert shared.dram.stats.writeback_writes == 0
+
+    shared_n, normal = _core_memory(lookahead=False)
+    end = _evict_set(normal, ways, 0xC0000, stride, AccessType.STORE)
+    _evict_set(normal, ways + 6, 0xC0000 + ways * stride, stride,
+               AccessType.LOAD, start_cycle=end)
+    assert normal.l1d.stats.writebacks > 0

@@ -63,8 +63,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     capture_golden = _load_capture()
-    print("capturing golden outputs (3 kernels x {BL, DLA, R3} x "
-          "{default, unbounded MSHRs})...", flush=True)
+    print("capturing golden outputs ({BL, DLA, R3} x {default, unbounded, "
+          "contended} sections; the contended section adds a store-heavy "
+          "kernel)...", flush=True)
     golden = capture_golden()
 
     stored = (
