@@ -17,8 +17,9 @@ completes in well under a minute.
 When the *complete* benchmark suite runs and passes, the session records
 suite wall-time and simulated instructions/second in
 ``BENCH_sim_throughput.json`` so the performance trajectory is tracked
-PR-over-PR.  Partial runs (``-k`` filters, single files) and failing
-sessions do not overwrite the trajectory numbers.
+PR-over-PR.  Partial runs (``-k`` filters, single files), failing sessions
+and sessions that were served (even partially) from the disk cache do not
+overwrite the trajectory numbers — only cold-cache runs are comparable.
 """
 
 import time
@@ -83,6 +84,12 @@ def pytest_sessionfinish(session, exitstatus):
     # PR-over-PR trajectory file; partial or failing sessions would record
     # misleading wall-times and simulation counts.
     if _RUNNER is None or exitstatus != 0 or not _FULL_SUITE_COLLECTED:
+        return
+    # Only fully cold-cache sessions measure throughput: any disk-cache hit
+    # means part (or all) of the suite skipped simulation, so the wall-time
+    # and instructions/second would not be comparable with the trajectory's
+    # cold-cache records (every fully-cached session would even record zeros).
+    if _RUNNER.stats.simulations == 0 or _RUNNER.stats.disk_hits > 0:
         return
     wall = time.perf_counter() - _IMPORT_T0
     mode = "quick" if _RUNNER.quick else "full"
