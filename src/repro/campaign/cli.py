@@ -32,10 +32,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.campaign.health import (
+    DEFAULT_BACKOFF_BASE, DEFAULT_MAX_ATTEMPTS, RetryPolicy,
+)
 from repro.campaign.registry import get_campaign, list_campaigns, register
 from repro.campaign.render import RenderError, render_campaign
 from repro.campaign.scheduler import (
@@ -45,6 +49,7 @@ from repro.campaign.spec import CampaignSpec, SpecError
 from repro.campaign.store import (
     DEFAULT_LEASE_TTL, CampaignStore, campaigns_root,
 )
+from repro.util import faults
 from repro.util.sharding import ShardError, parse_shard
 
 
@@ -111,6 +116,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="CELLS",
                        help="cells a worker claims per lease batch "
                             "(default: 4)")
+    p_run.add_argument("--retries", type=_positive_int,
+                       default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                       help="total attempts per failing cell before it is "
+                            "poisoned (permanently failed, skipped by all "
+                            f"workers; default: {DEFAULT_MAX_ATTEMPTS})")
+    p_run.add_argument("--retry-backoff", type=float,
+                       default=DEFAULT_BACKOFF_BASE, metavar="SECONDS",
+                       help="base delay of the capped exponential retry "
+                            "backoff (deterministically jittered; default: "
+                            f"{DEFAULT_BACKOFF_BASE:g})")
+    p_run.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock watchdog: run each worker "
+                            "cell in a subprocess and convert overruns into "
+                            "retryable failures (default: no watchdog)")
+    p_run.add_argument("--faults", default=None, metavar="PLAN",
+                       help="fault-injection plan for chaos testing (JSON "
+                            "list or compact 'site:kind:k=v,...;...' — see "
+                            "repro.util.faults); also exported to "
+                            "subprocesses via the environment")
 
     p_merge = sub.add_parser(
         "merge",
@@ -182,6 +207,20 @@ def _run_names(args) -> Optional[List[str]]:
     return names
 
 
+def _activate_faults(plan_text: Optional[str]) -> None:
+    """Parse and activate a chaos plan; export it for child processes.
+
+    Pool workers, watchdog subprocesses and any ``repro`` child the
+    orchestrator spawns all pick the plan up from the environment, so one
+    ``--faults`` flag covers the whole process tree.
+    """
+    if not plan_text:
+        return
+    plan = faults.FaultPlan.parse(plan_text)
+    faults.activate(plan)
+    os.environ[faults.FAULTS_ENV] = plan.to_json()
+
+
 def _cmd_run(args) -> int:
     quick = not args.full
     names = _run_names(args)
@@ -192,6 +231,10 @@ def _cmd_run(args) -> int:
     shard = None
     if args.shard is not None:
         shard = parse_shard(args.shard)
+    _activate_faults(args.faults)
+    policy = RetryPolicy(max_attempts=args.retries,
+                         backoff_base=args.retry_backoff)
+    exit_code = 0
     for name in names:
         spec = get_campaign(name)
         if spec is None:
@@ -203,7 +246,8 @@ def _cmd_run(args) -> int:
         if shard is not None:
             scheduler = CampaignScheduler(
                 spec, quick=quick, processes=args.processes, store=store,
-                progress=print, bench_report=False,
+                progress=print, bench_report=False, retry_policy=policy,
+                cell_timeout=args.cell_timeout,
             )
             scheduler.run_shard(*shard)
             # No artifacts from a shard run: rendering is `repro merge`'s
@@ -212,7 +256,8 @@ def _cmd_run(args) -> int:
         if args.worker:
             scheduler = CampaignScheduler(
                 spec, quick=quick, processes=args.processes, store=store,
-                progress=print, bench_report=False,
+                progress=print, bench_report=False, retry_policy=policy,
+                cell_timeout=args.cell_timeout,
             )
             summary = scheduler.run_worker(
                 owner=args.owner, ttl=args.ttl, batch_size=args.batch,
@@ -222,17 +267,25 @@ def _cmd_run(args) -> int:
                 for path in render_campaign(spec.name, store=store,
                                             out_dir=args.out):
                     print(f"[{spec.name}] wrote {path}")
+            if summary.get("cells_failed") or summary.get("interrupted"):
+                exit_code = 1
             continue
-        run_campaign(spec, quick=quick, processes=args.processes,
-                     store=store, progress=print)
+        summary = run_campaign(spec, quick=quick, processes=args.processes,
+                               store=store, progress=print,
+                               retry_policy=policy,
+                               cell_timeout=args.cell_timeout)
         if not args.no_render:
             for path in render_campaign(spec.name, store=store, out_dir=args.out):
                 print(f"[{spec.name}] wrote {path}")
-    return 0
+        if summary.get("cells_failed"):
+            # Artifacts were written (degraded), but CI must see the failure.
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_merge(args) -> int:
     quick = not args.full
+    exit_code = 0
     names = list(args.campaigns)
     if args.spec:
         loaded = _load_spec_file(args.spec)
@@ -250,14 +303,17 @@ def _cmd_merge(args) -> int:
         scheduler = CampaignScheduler(spec, quick=quick, store=store,
                                       progress=print, bench_report=False)
         try:
-            scheduler.finalize()
+            summary = scheduler.finalize()
         except CampaignIncomplete as error:
             print(str(error), file=sys.stderr)
             return 1
         if not args.no_render:
             for path in render_campaign(spec.name, store=store, out_dir=args.out):
                 print(f"[{spec.name}] wrote {path}")
-    return 0
+        if summary.get("cells_failed"):
+            # Degraded merge: artifacts exist but carry a health section.
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_render(args) -> int:
@@ -286,26 +342,36 @@ def _cmd_status(args) -> int:
         else:
             print("no campaigns have been run yet")
         return 0
+    statuses = {name: CampaignStore(name).status() for name in names}
+    # Non-zero failed cells flip the exit code so CI and dispatchers can
+    # gate on campaign health without parsing the output.
+    unhealthy = any(status.get("cells_failed") for status in statuses.values())
     if args.as_json:
-        print(json.dumps(
-            {name: CampaignStore(name).status() for name in names},
-            indent=2, sort_keys=True,
-        ))
-        return 0
+        print(json.dumps(statuses, indent=2, sort_keys=True))
+        return 1 if unhealthy else 0
     for name in names:
-        status = CampaignStore(name).status()
+        status = statuses[name]
         if status.get("state") == "never run":
             print(f"{name}: never run")
             continue
         leased = status.get("cells_leased", 0)
         lease_note = f", {leased} leased" if leased else ""
+        failed = status.get("cells_failed", 0)
+        failed_note = f", {failed} FAILED" if failed else ""
+        health_bits = []
+        if status.get("retries"):
+            health_bits.append(f"retries {status['retries']}")
+        if status.get("quarantined"):
+            health_bits.append(f"quarantined {status['quarantined']}")
+        health_note = f" [{', '.join(health_bits)}]" if health_bits else ""
         print(
             f"{name}: {status['state']} ({status.get('mode')}); "
             f"cells {status.get('cells_done', 0)}/{status.get('cells_planned', 0)} "
-            f"done{lease_note}, {status.get('cells_pending', 0)} pending; "
+            f"done{lease_note}, {status.get('cells_pending', 0)} "
+            f"pending{failed_note}{health_note}; "
             f"updated {status.get('updated_at')}"
         )
-    return 0
+    return 1 if unhealthy else 0
 
 
 def _cmd_clean(args) -> int:

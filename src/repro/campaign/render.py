@@ -99,6 +99,20 @@ def render_markdown(result: Mapping[str, object]) -> str:
         f"- cells: {cells}",
         "",
     ]
+    health = result.get("health")
+    if health:
+        # Degraded campaigns carry their failure roster into the artifact —
+        # a partial result that *says* it is partial beats a missing one.
+        lines += [f"## health: {health.get('state', 'degraded').upper()}", ""]
+        for entry in health.get("failed", []):
+            lines.append(
+                f"- `{entry.get('workload')}/{entry.get('variant')}` "
+                f"(`{entry.get('key')}`): {entry.get('error_type')}: "
+                f"{entry.get('message')} "
+                f"[attempts: {entry.get('attempts')}, "
+                f"digest: {entry.get('traceback_digest')}]"
+            )
+        lines.append("")
     tables = result.get("tables") or {}
     for name, rows in tables.items():
         lines += [f"## {name}", "", format_markdown_table(rows), ""]

@@ -47,13 +47,20 @@ primitives, so all three are bit-identical by construction):
 from __future__ import annotations
 
 import importlib
+import json
 import os
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.campaign.health import (
+    CellCrashed, CellTimeout, RetryPolicy, WorkerShutdown, exception_info,
+    make_failure_record, record_poisoned, record_retry_ready,
+)
 from repro.campaign.spec import CampaignSpec, SpecError
 from repro.campaign.store import CampaignStore, DEFAULT_LEASE_TTL
 from repro.experiments.parallel import ParallelExperimentRunner, SimRequest
+from repro.util import faults
 from repro.util.sharding import partition
 
 Progress = Callable[[str], None]
@@ -68,6 +75,26 @@ def default_owner() -> str:
     import socket
 
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _watchdog_cell_main(ctor_kwargs: dict, request: SimRequest, key: str,
+                        prior_attempts: int, report_path: str) -> None:
+    """Watchdog subprocess entry: run one cell isolated, report failures.
+
+    The successful result travels through the shared disk cache (the child
+    runner persists it the moment the simulation finishes) — only failure
+    payloads come back through ``report_path``, so the parent can tell
+    "crashed" from "succeeded" without unpickling outcomes across the
+    process boundary.
+    """
+    from repro.experiments.parallel import _run_group
+
+    _workload, results, _stats, _warm = _run_group(
+        (ctor_kwargs, request.workload, [request],
+         {"isolate": True, "attempts": {key: prior_attempts}})
+    )
+    failures = {k: info for kind, k, info in results if kind == "failed"}
+    Path(report_path).write_text(json.dumps(failures))
 
 
 class CampaignIncomplete(RuntimeError):
@@ -98,6 +125,8 @@ class CampaignScheduler:
         runner: Optional[ParallelExperimentRunner] = None,
         progress: Optional[Progress] = None,
         bench_report: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        cell_timeout: Optional[float] = None,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -105,6 +134,11 @@ class CampaignScheduler:
         self.store = store or CampaignStore(spec.name)
         self.progress = progress or _silent
         self.bench_report = bench_report
+        #: Bounded-retry policy for failing cells (see campaign.health).
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Per-cell wall-clock budget; ``None`` disables the subprocess
+        #: watchdog (cells then run inline in the worker, hangs and all).
+        self.cell_timeout = cell_timeout
         self.runner = runner or ParallelExperimentRunner(
             quick=quick,
             workload_names=spec.resolve_workloads(),
@@ -176,7 +210,15 @@ class CampaignScheduler:
     # single-host execution (simulate everything, then assemble)
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, object]:
-        """Execute the campaign; returns the run summary (also persisted)."""
+        """Execute the campaign; returns the run summary (also persisted).
+
+        Cells run under failure isolation with bounded retries: a raising
+        cell is retried (capped exponential backoff, deterministic jitter)
+        up to ``retry_policy.max_attempts`` total attempts, then poisoned —
+        recorded as a durable failure, skipped, and surfaced through a
+        ``health`` section in the assembled result instead of aborting the
+        whole campaign.
+        """
         manifest = self.store.begin(self.spec, self.mode)
         self._seed_cells(manifest)
         requests = self.cells()
@@ -187,17 +229,93 @@ class CampaignScheduler:
             f"[{self.spec.name}] {len(requests)} cells across "
             f"{len(self.cell_workloads())} workloads ({self.mode} mode)"
         )
-        executed = self.runner.warm(requests) if requests else 0
+        executed, failures = (
+            self._drive_cells(requests) if requests else (0, {})
+        )
         cell_stats = self.runner.stats.since(stats_before)
-        self._record_cells(manifest, requests)
+        succeeded = [
+            request for request in requests
+            if self.runner.request_key(request) not in failures
+        ]
+        self._record_cells(manifest, succeeded)
+        if failures:
+            self._record_failed_cells(manifest, failures)
+            self.progress(
+                f"[{self.spec.name}] WARNING: {len(failures)} cell(s) "
+                f"poisoned after {self.retry_policy.max_attempts} attempts "
+                f"— assembling a degraded artefact"
+            )
         if requests:
             self.progress(
                 f"[{self.spec.name}] cells done: {executed} simulated, "
-                f"{len(requests) - executed} from cache "
+                f"{len(succeeded) - executed} from cache "
                 f"({cell_stats.simulation_seconds:.1f}s simulating)"
             )
         return self._assemble(manifest, started, stats_before,
-                              cells_total=len(requests), executed=executed)
+                              cells_total=len(requests), executed=executed,
+                              failures=failures or None)
+
+    def _drive_cells(
+        self, requests: List[SimRequest], processes: Optional[int] = None,
+    ) -> Tuple[int, Dict[str, Dict[str, object]]]:
+        """Simulate ``requests`` with isolation + bounded, backed-off retries.
+
+        Returns ``(executed, poisoned)``: the number of simulations actually
+        run, and the final failure record of every cell that exhausted its
+        retry budget.  Successes land in the caches exactly as with
+        :meth:`ParallelExperimentRunner.warm`.
+        """
+        policy = self.retry_policy
+        attempts: Dict[str, int] = {
+            key: int(record.get("attempts", 0))
+            for key, record in self.store.failures().items()
+        }
+        owner = default_owner()
+        executed_total = 0
+        dead: Dict[str, Dict[str, object]] = {}
+        pending: List[Tuple[SimRequest, str]] = []
+        for request in requests:
+            key = self.runner.request_key(request)
+            if policy.poisoned(attempts.get(key, 0)):
+                # Poisoned by an earlier run; don't burn attempts re-proving it.
+                dead[key] = self.store.read_failure(key) or {
+                    "key": key, "attempts": attempts.get(key, 0),
+                    "poisoned": True,
+                }
+            else:
+                pending.append((request, key))
+        while pending:
+            executed, failures = self.runner.warm_isolated(
+                [request for request, _key in pending],
+                processes=processes,
+                attempts={key: attempts.get(key, 0) for _request, key in pending},
+            )
+            executed_total += executed
+            retrying: List[Tuple[SimRequest, str]] = []
+            for request, key in pending:
+                info = failures.get(key)
+                if info is None:
+                    continue
+                count = attempts.get(key, 0) + 1
+                attempts[key] = count
+                record = make_failure_record(
+                    key, info, count, policy, owner=owner,
+                    workload=request.workload, variant=request.label,
+                )
+                self.store.record_failure(key, record)
+                if record_poisoned(record):
+                    dead[key] = record
+                else:
+                    retrying.append((request, key))
+            pending = retrying
+            if pending:
+                # One deterministic-jitter backoff per round — the shortest
+                # pending delay, so no cell waits longer than its own budget.
+                time.sleep(min(
+                    policy.backoff_seconds(key, attempts[key])
+                    for _request, key in pending
+                ))
+        return executed_total, dead
 
     # ------------------------------------------------------------------
     # sharded execution
@@ -276,6 +394,7 @@ class CampaignScheduler:
             raise ValueError(f"batch_size must be >= 1 (got {batch_size})")
         self._require_disk_cache("--worker")
         owner = owner or default_owner()
+        policy = self.retry_policy
         manifest = self.store.begin(self.spec, self.mode)
         self._seed_cells(manifest)
         keyed = self.keyed_cells()
@@ -285,80 +404,256 @@ class CampaignScheduler:
         stats_before = self.runner.stats.copy()
         claimed_total = 0
         waiting_logged = False
+        interrupted = False
 
         self.progress(
             f"[{self.spec.name}] worker {owner}: {len(keyed)} cells "
             f"({self.mode} mode, ttl {ttl:g}s)"
         )
         all_keys = [key for key, _request in keyed]
-        while True:
-            self.store.reclaim_stale()
-            availability = self.runner.screen(all_requests, keys=all_keys)
-            unfinished = [key for key, _request in keyed if not availability[key]]
-            if not unfinished:
-                break
-            if max_cells is not None and claimed_total >= max_cells:
-                break
-            limit = batch_size
-            if max_cells is not None:
-                limit = min(limit, max_cells - claimed_total)
-            claimed = self.store.claim_cells(unfinished, owner, ttl=ttl,
-                                             limit=limit)
-            if not claimed:
-                # Every unfinished cell is leased to another live worker:
-                # poll until they land (or their leases expire).
-                if not waiting_logged:
-                    self.progress(
-                        f"[{self.spec.name}] worker {owner}: waiting on "
-                        f"{len(unfinished)} leased cell(s)"
-                    )
-                    waiting_logged = True
-                time.sleep(poll_seconds)
-                continue
-            waiting_logged = False
-            claimed_total += len(claimed)
-            remaining = list(claimed)
-            try:
-                for key in claimed:
-                    request = requests_by_key[key]
-                    # Inline execution: one cell is one workload group, so a
-                    # process pool would add overhead without parallelism —
-                    # multi-worker parallelism comes from running more workers.
-                    self.runner.warm([request], processes=1)
-                    remaining.remove(key)
-                    self._record_cells(manifest, [request], owner=owner)
-                    self.store.release_leases([key], owner)
+        previous_handlers = self._install_signal_handlers()
+        try:
+            while True:
+                self.store.reclaim_stale()
+                availability = self.runner.screen(all_requests, keys=all_keys)
+                records = self.store.failures()
+                unfinished = [key for key, _request in keyed
+                              if not availability[key]]
+                # Poisoned cells are permanently failed: no worker touches
+                # them again; the campaign converges around them (degraded).
+                open_cells = [key for key in unfinished
+                              if not record_poisoned(records.get(key))]
+                if not open_cells:
+                    break
+                if max_cells is not None and claimed_total >= max_cells:
+                    break
+                # Back-off gate: a cell that just failed is only claimable
+                # again once its (deterministically jittered) retry_at
+                # passes — shared through the store, so *no* worker claims
+                # it early.
+                ready = [key for key in open_cells
+                         if record_retry_ready(records.get(key))]
+                limit = batch_size
+                if max_cells is not None:
+                    limit = min(limit, max_cells - claimed_total)
+                claimed = (
+                    self.store.claim_cells(ready, owner, ttl=ttl, limit=limit)
+                    if ready else []
+                )
+                if not claimed:
+                    # Every open cell is leased to another live worker or
+                    # waiting out a retry backoff: poll until claimable.
+                    if not waiting_logged:
+                        self.progress(
+                            f"[{self.spec.name}] worker {owner}: waiting on "
+                            f"{len(open_cells)} leased/backing-off cell(s)"
+                        )
+                        waiting_logged = True
+                    time.sleep(poll_seconds)
+                    continue
+                waiting_logged = False
+                claimed_total += len(claimed)
+                remaining = list(claimed)
+                try:
+                    for key in claimed:
+                        # Chaos site: a seeded kill fault drops the whole
+                        # worker process right here — holding leases, like a
+                        # real OOM kill.  Survivors reclaim after the TTL.
+                        faults.probe(faults.SITE_WORKER_KILL, key=key)
+                        request = requests_by_key[key]
+                        prior = int((records.get(key) or {}).get("attempts", 0))
+                        # Inline execution (one cell = one workload group, so
+                        # a pool adds overhead without parallelism) — or a
+                        # watchdog subprocess when --cell-timeout is set.
+                        info = self._run_cell_guarded(request, key, prior)
+                        remaining.remove(key)
+                        if info is None:
+                            self._record_cells(manifest, [request], owner=owner)
+                            self.store.release_leases([key], owner)
+                            self.progress(
+                                f"[{self.spec.name}] worker {owner}: cell "
+                                f"{request.workload}/"
+                                f"{request.label or request.kind} done"
+                            )
+                        else:
+                            count = prior + 1
+                            record = make_failure_record(
+                                key, info, count, policy, owner=owner,
+                                workload=request.workload,
+                                variant=request.label,
+                            )
+                            self.store.record_failure(key, record)
+                            records[key] = record
+                            if record_poisoned(record):
+                                self._record_failed_cells(
+                                    manifest, {key: record})
+                            self.store.release_leases([key], owner)
+                            state = ("poisoned" if record_poisoned(record)
+                                     else "will retry")
+                            self.progress(
+                                f"[{self.spec.name}] worker {owner}: cell "
+                                f"{request.workload}/"
+                                f"{request.label or request.kind} FAILED "
+                                f"(attempt {count}/{policy.max_attempts}, "
+                                f"{info.get('error_type')}: "
+                                f"{info.get('message')}) — {state}"
+                            )
+                        if remaining:
+                            self.store.renew_leases(remaining, owner, ttl=ttl)
+                finally:
+                    # On an exception, signal or Ctrl-C mid-batch, hand the
+                    # unfinished claims straight back instead of making
+                    # everyone (including our own restart, which gets a
+                    # fresh pid-based owner) wait out the TTL.
                     if remaining:
-                        self.store.renew_leases(remaining, owner, ttl=ttl)
-                    self.progress(
-                        f"[{self.spec.name}] worker {owner}: cell "
-                        f"{request.workload}/{request.label or request.kind} done"
-                    )
-            finally:
-                # On an exception or Ctrl-C mid-batch, hand the unfinished
-                # claims straight back instead of making everyone (including
-                # our own restart, which gets a fresh pid-based owner) wait
-                # out the TTL.
-                if remaining:
-                    self.store.release_leases(remaining, owner)
+                        self.store.release_leases(remaining, owner)
+        except WorkerShutdown as shutdown:
+            interrupted = True
+            self.progress(
+                f"[{self.spec.name}] worker {owner}: {shutdown} — leases "
+                f"released, exiting cleanly (rerun to resume)"
+            )
+        finally:
+            self._restore_signal_handlers(previous_handlers)
 
         run_stats = self.runner.stats.since(stats_before)
+        unfinished = self.unfinished_cells()
+        failure_records = self.store.failures()
+        poisoned = {key: failure_records[key] for key in unfinished
+                    if record_poisoned(failure_records.get(key))}
+        complete = not unfinished
+        # Converged: nothing left to run — every cell is either done or
+        # permanently failed.  That is finalisable (degraded when poisoned
+        # cells exist); an interrupted worker never finalises.
+        converged = (not interrupted
+                     and all(key in poisoned for key in unfinished))
         summary: Dict[str, object] = {
             "mode": self.mode,
             "worker": owner,
             "cells_total": len(keyed),
             "cells_claimed": claimed_total,
             "cells_simulated": run_stats.simulations,
+            "cells_failed": len(poisoned),
             "wall_seconds": round(time.perf_counter() - started, 2),
         }
+        if interrupted:
+            summary["interrupted"] = True
         summary.update(run_stats.as_dict())
         self.store.record_run(manifest, summary)
-        complete = not self.unfinished_cells()
         summary["complete"] = complete
-        if complete and finalize:
+        if converged and finalize:
             summary["finalized"] = True
             self.finalize(manifest=manifest)
         return summary
+
+    # ------------------------------------------------------------------
+    def _install_signal_handlers(self) -> Dict[int, object]:
+        """Route SIGTERM/SIGINT into :class:`WorkerShutdown` (main thread
+        only — worker loops driven from helper threads keep the process
+        defaults, and tests do exactly that)."""
+        import signal
+        import threading
+
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous: Dict[int, object] = {}
+
+        def _handler(signum: int, _frame) -> None:
+            raise WorkerShutdown(f"received signal {signum}")
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):   # non-main interpreter quirks
+                pass
+        return previous
+
+    def _restore_signal_handlers(self, previous: Dict[int, object]) -> None:
+        import signal
+
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError, TypeError):
+                pass
+
+    # ------------------------------------------------------------------
+    def _run_cell_guarded(self, request: SimRequest, key: str,
+                          prior_attempts: int) -> Optional[Dict[str, object]]:
+        """Execute one cell; returns its failure payload, or None on success.
+
+        Without a ``cell_timeout`` the cell runs inline under isolation;
+        with one, it runs in a watchdog subprocess whose result lands in the
+        shared disk cache — exceeding the wall-clock budget terminates the
+        subprocess and reports a retryable :class:`CellTimeout`.
+        """
+        if self.cell_timeout is None:
+            _executed, failures = self.runner.warm_isolated(
+                [request], processes=1, attempts={key: prior_attempts})
+            return failures.get(key)
+        return self._run_cell_watchdog(request, key, prior_attempts)
+
+    def _run_cell_watchdog(self, request: SimRequest, key: str,
+                           prior_attempts: int) -> Optional[Dict[str, object]]:
+        import multiprocessing
+        import tempfile
+
+        self._require_disk_cache("--cell-timeout")
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        fd, report_name = tempfile.mkstemp(prefix="repro-watchdog-",
+                                           suffix=".json")
+        os.close(fd)
+        report = Path(report_name)
+        started = time.monotonic()
+        process = ctx.Process(
+            target=_watchdog_cell_main,
+            args=(self.runner._ctor_kwargs(), request, key, prior_attempts,
+                  report_name),
+        )
+
+        def _payload(error: BaseException) -> Dict[str, object]:
+            info = exception_info(error, time.monotonic() - started)
+            info.update({"workload": request.workload, "kind": request.kind,
+                         "label": request.label})
+            return info
+
+        try:
+            process.start()
+            process.join(self.cell_timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(5.0)
+                return _payload(CellTimeout(
+                    f"cell exceeded --cell-timeout "
+                    f"{self.cell_timeout:g}s wall clock"
+                ))
+            if process.exitcode == 0:
+                try:
+                    reported = json.loads(report.read_text())
+                except (OSError, ValueError):
+                    reported = {}
+                if key in reported:
+                    return reported[key]
+                # Success: the child persisted the outcome to the shared
+                # disk cache; pull it into this runner's memory caches.
+                self.runner.screen([request], keys=[key])
+                return None
+            return _payload(CellCrashed(
+                f"watchdog subprocess died with exit code {process.exitcode}"
+            ))
+        finally:
+            try:
+                report.unlink()
+            except OSError:
+                pass
+            if process.is_alive():   # belt and braces on unexpected exits
+                process.kill()
 
     def unfinished_cells(self) -> List[str]:
         """Content keys of cells whose results are not in any cache yet."""
@@ -374,9 +669,14 @@ class CampaignScheduler:
 
         Raises :class:`CampaignIncomplete` when cells are still missing —
         finalisation never simulates matrix cells, so shard/worker runs must
-        land first.  Deterministic by construction: the assembled tables and
-        text depend only on the cached outcomes, so a merge after sharded
-        execution is bit-identical to a single-host :meth:`run`.
+        land first.  *Poisoned* cells (permanently failed after exhausting
+        their retry budget) do not block finalisation: the artefact is
+        assembled around them, carrying an explicit ``health`` section, so a
+        partly-failed campaign yields partial artifacts instead of nothing.
+
+        Deterministic by construction: the assembled tables and text depend
+        only on the cached outcomes, so a merge after sharded execution is
+        bit-identical to a single-host :meth:`run`.
         """
         if manifest is None:
             manifest = self.store.begin(self.spec, self.mode)
@@ -386,32 +686,61 @@ class CampaignScheduler:
             keys=[key for key, _request in keyed],
         )
         missing = [key for key, _request in keyed if not availability[key]]
+        failures: Optional[Dict[str, Dict[str, object]]] = None
         if missing:
-            hint = (
-                " (note: the disk cache is disabled in this process, so "
-                "results computed elsewhere are invisible — unset "
-                "REPRO_DISK_CACHE=0)"
-                if self.runner.disk_cache is None else ""
-            )
-            raise CampaignIncomplete(
-                f"campaign {self.spec.name!r}: {len(missing)} of {len(keyed)} "
-                f"cells not simulated yet — run the remaining shards/workers "
-                f"before merging{hint}"
-            )
+            records = self.store.failures()
+            poisoned = {key: records[key] for key in missing
+                        if record_poisoned(records.get(key))}
+            unaccounted = [key for key in missing if key not in poisoned]
+            if unaccounted:
+                hint = (
+                    " (note: the disk cache is disabled in this process, so "
+                    "results computed elsewhere are invisible — unset "
+                    "REPRO_DISK_CACHE=0)"
+                    if self.runner.disk_cache is None else ""
+                )
+                raise CampaignIncomplete(
+                    f"campaign {self.spec.name!r}: {len(unaccounted)} of "
+                    f"{len(keyed)} cells not simulated yet — run the "
+                    f"remaining shards/workers before merging{hint}"
+                )
+            failures = poisoned
+            self._record_failed_cells(manifest, poisoned)
         started = time.perf_counter()
         stats_before = self.runner.stats.copy()
         return self._assemble(manifest, started, stats_before,
-                              cells_total=len(keyed), executed=0)
+                              cells_total=len(keyed), executed=0,
+                              failures=failures)
 
     # ------------------------------------------------------------------
     def _assemble(self, manifest: Dict[str, object], started: float,
-                  stats_before, cells_total: int,
-                  executed: int) -> Dict[str, object]:
-        """Run the experiment module over the warmed caches and persist."""
+                  stats_before, cells_total: int, executed: int,
+                  failures: Optional[Dict[str, Dict[str, object]]] = None,
+                  ) -> Dict[str, object]:
+        """Run the experiment module over the warmed caches and persist.
+
+        ``failures`` (poisoned-cell records) switches degraded assembly on:
+        the result gains a deterministic ``health`` section, and an
+        exception from the experiment module — which may legitimately hit
+        the same crash the poisoned cell did, since modules re-simulate
+        missing cells — degrades to a stub artefact instead of propagating.
+        The key is *absent* on clean runs, keeping fault-free artifacts
+        byte-identical to earlier releases.
+        """
         module = importlib.import_module(self.spec.experiment)
-        result = module.run(self.runner)
-        tables = self._tables(module, result)
-        text = result.render()
+        try:
+            result = module.run(self.runner)
+            tables = self._tables(module, result)
+            text = result.render()
+        except Exception as error:
+            if not failures:
+                raise
+            tables = {}
+            text = (
+                f"DEGRADED: artefact assembly failed over "
+                f"{len(failures)} poisoned cell(s): "
+                f"{type(error).__name__}: {error}"
+            )
         run_stats = self.runner.stats.since(stats_before)
         wall = time.perf_counter() - started
 
@@ -422,25 +751,32 @@ class CampaignScheduler:
             "cells_from_cache": cells_total - executed,
             "wall_seconds": round(wall, 2),
         }
+        if failures:
+            summary["cells_failed"] = len(failures)
         summary.update(run_stats.as_dict())
         self.store.record_run(manifest, summary)
-        self.store.save_result(
+        payload: Dict[str, object] = {
+            "campaign": self.spec.name,
+            "title": self.spec.title,
+            "description": self.spec.description,
+            "experiment": self.spec.experiment,
+            "spec_fingerprint": self.spec.fingerprint(),
+            "mode": self.mode,
+            # Deterministic planned-cell count (deduped by content key);
+            # the volatile per-run counters live under "run".
+            "cells": len(self.keyed_cells()),
+        }
+        if failures:
+            payload["health"] = self._health_section(failures)
+        payload.update(
             {
-                "campaign": self.spec.name,
-                "title": self.spec.title,
-                "description": self.spec.description,
-                "experiment": self.spec.experiment,
-                "spec_fingerprint": self.spec.fingerprint(),
-                "mode": self.mode,
-                # Deterministic planned-cell count (deduped by content key);
-                # the volatile per-run counters live under "run".
-                "cells": len(self.keyed_cells()),
                 "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
                 "tables": tables,
                 "text": text,
                 "run": summary,
             }
         )
+        self.store.save_result(payload)
 
         if self.bench_report:
             from repro.experiments.bench import update_bench_report
@@ -502,6 +838,47 @@ class CampaignScheduler:
         self.store.record_cells(manifest, records)
 
     @staticmethod
+    def _health_section(
+        failures: Dict[str, Dict[str, object]],
+    ) -> Dict[str, object]:
+        """The deterministic ``health`` block of a degraded result.
+
+        Only content-determined fields (keys, exception identity, attempt
+        counts) — no owners, timestamps or durations — so a degraded merge
+        stays byte-identical to a degraded single-host run hitting the same
+        deterministic failures.
+        """
+        return {
+            "state": "degraded",
+            "failed": [
+                {
+                    "key": key,
+                    "workload": record.get("workload"),
+                    "variant": record.get("variant"),
+                    "error_type": record.get("error_type"),
+                    "message": record.get("message"),
+                    "traceback_digest": record.get("traceback_digest"),
+                    "attempts": record.get("attempts"),
+                }
+                for key, record in sorted(failures.items())
+            ],
+        }
+
+    def _record_failed_cells(self, manifest: Dict[str, object],
+                             failures: Dict[str, Dict[str, object]]) -> None:
+        """Mark poisoned cells ``status: failed`` in the manifest."""
+        records: Dict[str, Dict[str, object]] = {}
+        for key, record in failures.items():
+            records[key] = {
+                "workload": record.get("workload"),
+                "variant": record.get("variant"),
+                "kind": record.get("kind"),
+                "status": "failed",
+            }
+        if records:
+            self.store.record_cells(manifest, records)
+
+    @staticmethod
     def _tables(module, result) -> Dict[str, List[Dict[str, object]]]:
         hook = getattr(module, "artifact_tables", None)
         if hook is None:
@@ -528,10 +905,13 @@ def run_campaign(
     runner: Optional[ParallelExperimentRunner] = None,
     progress: Optional[Progress] = None,
     bench_report: bool = True,
+    retry_policy: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
 ) -> Dict[str, object]:
     """Resolve ``campaign`` (name or spec) and execute it."""
     scheduler = CampaignScheduler(
         _resolve_spec(campaign), quick=quick, processes=processes, store=store,
         runner=runner, progress=progress, bench_report=bench_report,
+        retry_policy=retry_policy, cell_timeout=cell_timeout,
     )
     return scheduler.run()

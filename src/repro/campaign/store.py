@@ -46,10 +46,15 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.campaign.spec import CampaignSpec
 from repro.experiments.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+from repro.util.durability import atomic_write_text, sweep_orphan_tmps
 
 MANIFEST_NAME = "manifest.json"
 RESULT_NAME = "result.json"
 LEASES_DIR = "leases"
+#: One JSON file per *failed* cell (structured failure records: exception
+#: type, traceback digest, attempt count, owner, retry/poison state).
+#: Records persist after a later success so retry counts stay auditable.
+FAILURES_DIR = "failures"
 
 #: Manifest layout version.  v2 added per-cell completion records
 #: (``status``/``completed_by``) and the ``leases/`` directory; a v1 manifest
@@ -88,10 +93,13 @@ def _tmp_name(path: Path) -> Path:
 
 
 def _atomic_write_json(path: Path, payload: object, sort_keys: bool = True) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = _tmp_name(path)
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=sort_keys) + "\n")
-    os.replace(tmp, path)
+    # Fsync-before-rename (see repro.util.durability): a crash mid-write can
+    # leave old content or new content under the final name, never garbage.
+    atomic_write_text(
+        path,
+        json.dumps(payload, indent=2, sort_keys=sort_keys) + "\n",
+        tmp=_tmp_name(path),
+    )
 
 
 class CampaignStore:
@@ -113,6 +121,10 @@ class CampaignStore:
     @property
     def leases_path(self) -> Path:
         return self.directory / LEASES_DIR
+
+    @property
+    def failures_path(self) -> Path:
+        return self.directory / FAILURES_DIR
 
     def load_manifest(self) -> Optional[Dict[str, object]]:
         try:
@@ -152,6 +164,11 @@ class CampaignStore:
                 "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
                 "cells": {},
             }
+        # Hygiene on open: writers killed mid-write leave `*.tmp.*` debris
+        # next to the manifest, leases and failure records; sweep aged ones
+        # (age-gated, so live concurrent writers are never raced).
+        for directory in (self.directory, self.leases_path, self.failures_path):
+            sweep_orphan_tmps(directory)
         self.save_manifest(manifest)
         return manifest
 
@@ -198,6 +215,50 @@ class CampaignStore:
                    summary: Mapping[str, object]) -> None:
         manifest["last_run"] = dict(summary)
         self.save_manifest(manifest)
+
+    # ------------------------------------------------------------------
+    # failure records
+    # ------------------------------------------------------------------
+    def _failure_path(self, key: str) -> Path:
+        return self.failures_path / f"{key}.json"
+
+    def read_failure(self, key: str) -> Optional[Dict[str, object]]:
+        """The durable failure record for ``key`` (``None`` if it never
+        failed, or the record is unreadable)."""
+        try:
+            record = json.loads(self._failure_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def record_failure(self, key: str, record: Mapping[str, object]) -> None:
+        """Persist (overwrite) the failure record for one cell.
+
+        One file per cell, so concurrent workers failing *different* cells
+        never contend; two workers failing the *same* cell is already
+        prevented by its lease, so last-writer-wins is safe here.
+        """
+        _atomic_write_json(self._failure_path(key), dict(record))
+
+    def clear_failure(self, key: str) -> None:
+        """Forget a cell's failure record (used by tests/manual resets; a
+        successful retry deliberately keeps the record for audit)."""
+        try:
+            self._failure_path(key).unlink()
+        except OSError:
+            pass
+
+    def failures(self) -> Dict[str, Dict[str, object]]:
+        """Every cell failure record, keyed by cell content key."""
+        records: Dict[str, Dict[str, object]] = {}
+        if not self.failures_path.is_dir():
+            return records
+        for path in sorted(self.failures_path.glob("*.json")):
+            key = path.name[: -len(".json")]
+            record = self.read_failure(key)
+            if record is not None:
+                records[key] = record
+        return records
 
     # ------------------------------------------------------------------
     # cell leasing
@@ -350,18 +411,40 @@ class CampaignStore:
         are left alone — an expired lease is lost (a reclaimer may be
         removing it right now), and resurrecting it could duplicate a cell.
         The renewing worker should treat unrenewed cells as lost.
+
+        Renewal happens under the same per-cell steal lock as reclaiming:
+        read-check-rewrite is not atomic, so without the lock a reclaimer
+        could observe the lease expired, steal it, and then have this renew
+        resurrect the stolen lease — two owners for one cell.  Under the
+        lock, either the reclaimer wins (renew sees the lease gone/expired
+        and reports it lost) or the renew wins (the reclaimer's re-check
+        sees the pushed-forward expiry and backs off).
         """
-        now = time.time()
         renewed = 0
         for key in keys:
             lease = self.read_lease(key)
             if lease is None or lease.get("owner") != owner:
                 continue
-            if not self._lease_live(lease, now):
+            if not self._lease_live(lease, time.time()):
                 continue
-            lease["expires_at"] = now + ttl
-            _atomic_write_json(self._lease_path(key), lease)
-            renewed += 1
+            if not self._acquire_steal(key, owner):
+                # A reclaimer holds the lock right now; skip rather than
+                # block — the worker renews again between cells, and an
+                # unrenewed live lease is still live.
+                continue
+            try:
+                lease = self.read_lease(key)
+                if (
+                    lease is None
+                    or lease.get("owner") != owner
+                    or not self._lease_live(lease, time.time())
+                ):
+                    continue
+                lease["expires_at"] = time.time() + ttl
+                _atomic_write_json(self._lease_path(key), lease)
+                renewed += 1
+            finally:
+                self._release_steal(key)
         return renewed
 
     def release_leases(self, keys: Iterable[str], owner: str) -> int:
@@ -435,40 +518,59 @@ class CampaignStore:
         the shared disk cache), ``cells_leased`` (not done, live lease held
         by some worker) and ``cells_pending`` (neither).  ``cells_cached``
         is kept as an alias of ``cells_done`` for older tooling.
+
+        Health counters ride along: ``cells_failed`` (poisoned cells with no
+        result), ``retries`` (total recorded failed attempts, including ones
+        that later succeeded) and ``quarantined`` (corrupt disk-cache entries
+        moved aside).  A campaign whose result was assembled around poisoned
+        cells reports state ``degraded`` rather than ``complete``.
         """
         manifest = self.load_manifest()
         if manifest is None:
             return {"campaign": self.name, "state": "never run"}
+        from repro.campaign.health import summarize_failures
         from repro.experiments.cache import (
             ResultDiskCache, disk_cache_enabled, salted_key,
         )
 
         cells = manifest.get("cells", {})
         done_keys = set()
+        quarantined = 0
         if disk_cache_enabled():
             disk = ResultDiskCache()
             done_keys = {key for key in cells if disk.contains(salted_key(key))}
+            quarantined = disk.quarantine_count()
         live = self.leases()
         done = len(done_keys)
         leased = sum(1 for key in cells if key in live and key not in done_keys)
+        health = summarize_failures(self.failures(), done_keys=done_keys)
         # A result only counts as complete if it was assembled for the
         # manifest's current spec/mode; a mode or spec change leaves the old
         # result.json behind until the new run finishes.
         result = self.load_result()
-        complete = (
+        assembled = (
             result is not None
             and result.get("spec_fingerprint") == manifest.get("spec_fingerprint")
             and result.get("mode") == manifest.get("mode")
         )
+        if assembled:
+            state = "degraded" if health["failed"] else "complete"
+        else:
+            state = "partial"
         return {
             "campaign": self.name,
-            "state": "complete" if complete else "partial",
+            "state": state,
             "mode": manifest.get("mode"),
             "cells_planned": len(cells),
             "cells_done": done,
             "cells_cached": done,
             "cells_leased": leased,
-            "cells_pending": max(0, len(cells) - done - leased),
+            "cells_pending": max(
+                0, len(cells) - done - leased - health["failed"]
+            ),
+            "cells_failed": health["failed"],
+            "retries": health["retries"],
+            "quarantined": quarantined,
             "has_result": self.result_path.exists(),
             "updated_at": manifest.get("updated_at"),
             "last_run": manifest.get("last_run"),
@@ -492,6 +594,17 @@ class CampaignStore:
                     pass
             try:
                 self.leases_path.rmdir()
+            except OSError:
+                pass
+        if self.failures_path.is_dir():
+            for path in self.failures_path.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                self.failures_path.rmdir()
             except OSError:
                 pass
         try:

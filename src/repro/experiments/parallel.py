@@ -21,6 +21,7 @@ to inline execution with no multiprocessing overhead.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -78,38 +79,109 @@ def _worker_runner(ctor_kwargs: dict) -> ExperimentRunner:
     return runner
 
 
+def _setup_key(runner: ExperimentRunner, setup, request: SimRequest) -> str:
+    """Content key of ``request`` against an already-built setup."""
+    if request.kind == "baseline":
+        return runner.baseline_key(setup, request.system_config)
+    if request.kind == "segmented":
+        return runner.segmented_key(setup, request.dla_config, request.dynamic,
+                                    request.system_config)
+    return runner.dla_key(setup, request.dla_config, request.system_config)
+
+
+def _simulate_request(runner: ExperimentRunner, setup, request: SimRequest):
+    """Run one request against an already-built setup; returns the outcome."""
+    if request.kind == "baseline":
+        return strip_outcome(
+            runner.baseline(setup, request.label or "bl", request.system_config)
+        )
+    if request.kind == "segmented":
+        return runner.dla_segmented(
+            setup, request.dla_config, request.dynamic,
+            request.label or "recycle", request.system_config
+        )
+    return runner.dla(
+        setup, request.dla_config, request.label or "dla", request.system_config
+    )
+
+
+def _request_content_key(runner: ExperimentRunner, request: SimRequest) -> str:
+    """Content key of ``request`` from workload *definitions* only — no
+    trace/profile building, so it is safe to compute before a setup exists
+    (fault probes and failure records need the key even when setup fails)."""
+    from repro.workloads.suites import get_workload
+
+    workload = get_workload(request.workload)
+    if request.kind == "segmented":
+        return runner.segmented_key_for(
+            workload, request.dla_config, request.dynamic, request.system_config
+        )
+    return runner.workload_key(
+        workload, request.kind, request.system_config, request.dla_config,
+    )
+
+
+def _failure_payload(request: SimRequest, error: BaseException,
+                     duration_seconds: float) -> Dict[str, object]:
+    """The picklable record of one isolated cell failure."""
+    from repro.campaign.health import exception_info
+
+    info = exception_info(error, duration_seconds)
+    info.update({
+        "workload": request.workload,
+        "kind": request.kind,
+        "label": request.label,
+    })
+    return info
+
+
 def _run_group(payload: Tuple[dict, str, List[SimRequest]]):
-    """Execute every request of one workload group in a worker process."""
+    """Execute every request of one workload group in a worker process.
+
+    ``payload`` is ``(ctor_kwargs, workload, requests)`` — optionally
+    followed by an options dict ``{"isolate": bool, "attempts": {key: n}}``.
+    With ``isolate`` on, a request whose simulation raises does not poison
+    the group: the exception is captured as a ``("failed", key, info)``
+    result entry and the remaining requests still run.  Fault-injection
+    probes (:data:`repro.util.faults.SITE_CELL_SIMULATE`) fire only on this
+    isolated path, so the default warm path stays byte-for-byte untouched.
+    """
     from repro.core.system import warm_memo_stats
 
-    ctor_kwargs, workload, requests = payload
+    ctor_kwargs, workload, requests, *rest = payload
+    options = rest[0] if rest else {}
+    isolate = bool(options.get("isolate"))
+    attempts: Dict[str, int] = options.get("attempts", {})
     runner = _worker_runner(ctor_kwargs)
     # The runner (and its stats) persists across the groups this worker
     # serves; report only this group's delta or the parent's merge would
     # prefix-sum-overcount every earlier group.
     stats_before = runner.stats.copy()
     warm_before = warm_memo_stats()
-    setup = runner.setup(workload)
     results = []
-    for request in requests:
-        if request.kind == "baseline":
-            key = runner.baseline_key(setup, request.system_config)
-            outcome = strip_outcome(
-                runner.baseline(setup, request.label or "bl", request.system_config)
-            )
-        elif request.kind == "segmented":
-            key = runner.segmented_key(setup, request.dla_config, request.dynamic,
-                                       request.system_config)
-            outcome = runner.dla_segmented(
-                setup, request.dla_config, request.dynamic,
-                request.label or "recycle", request.system_config
-            )
-        else:
-            key = runner.dla_key(setup, request.dla_config, request.system_config)
-            outcome = runner.dla(
-                setup, request.dla_config, request.label or "dla", request.system_config
-            )
-        results.append((request.kind, key, outcome))
+    if not isolate:
+        setup = runner.setup(workload)
+        for request in requests:
+            key = _setup_key(runner, setup, request)
+            results.append((request.kind, key,
+                            _simulate_request(runner, setup, request)))
+    else:
+        from repro.util import faults
+
+        setup = None
+        for request in requests:
+            key = _request_content_key(runner, request)
+            started = time.monotonic()
+            try:
+                faults.probe(faults.SITE_CELL_SIMULATE, key=key,
+                             attempt=attempts.get(key, 0))
+                if setup is None:
+                    setup = runner.setup(workload)
+                results.append((request.kind, key,
+                                _simulate_request(runner, setup, request)))
+            except Exception as error:   # isolation boundary — keep going
+                results.append(("failed", key, _failure_payload(
+                    request, error, time.monotonic() - started)))
     warm_delta = {
         name: value - warm_before[name]
         for name, value in warm_memo_stats().items()
@@ -235,23 +307,86 @@ class ParallelExperimentRunner(ExperimentRunner):
         return self.stats.simulations - simulations_before
 
     # ------------------------------------------------------------------
+    def warm_isolated(
+        self,
+        requests: Optional[Sequence[SimRequest]] = None,
+        processes: Optional[int] = None,
+        attempts: Optional[Dict[str, int]] = None,
+    ) -> Tuple[int, Dict[str, Dict[str, object]]]:
+        """Fault-isolated :meth:`warm`: capture per-cell failures, keep going.
+
+        Returns ``(executed, failures)`` where ``failures`` maps content key
+        to a structured failure payload (exception type, message, traceback
+        digest, monotonic duration) for every request whose simulation — or
+        setup — raised.  Successful cells land in the caches exactly as with
+        :meth:`warm`; failed cells land nowhere, so a later retry re-runs
+        only them.  ``attempts`` (key -> prior failure count) is forwarded
+        to the fault-injection probe so attempt-gated transient faults stop
+        firing once a cell has been retried past their budget.
+
+        This is the campaign scheduler's execution primitive; direct
+        :meth:`warm` keeps its raise-through semantics for the figure
+        modules, where an exception is a bug to surface, not route around.
+        """
+        requests = list(requests if requests is not None else self.standard_requests())
+        attempts = attempts or {}
+        keys = [self._request_key(request) for request in requests]
+        availability = self.screen(requests, keys=keys)
+        groups: Dict[str, List[Tuple[SimRequest, str]]] = {}
+        for request, key in zip(requests, keys):
+            if availability[key]:
+                continue
+            groups.setdefault(request.workload, []).append((request, key))
+        pending = list(groups.items())
+        if not pending:
+            return 0, {}
+        processes = processes or self.processes or self.default_processes()
+        processes = min(processes, len(pending))
+        simulations_before = self.stats.simulations
+        failures: Dict[str, Dict[str, object]] = {}
+
+        if processes <= 1:
+            from repro.util import faults
+
+            for workload, pairs in pending:
+                setup = None
+                for request, key in pairs:
+                    started = time.monotonic()
+                    try:
+                        faults.probe(faults.SITE_CELL_SIMULATE, key=key,
+                                     attempt=attempts.get(key, 0))
+                        if setup is None:
+                            setup = self.setup(workload)
+                        _simulate_request(self, setup, request)
+                    except Exception as error:
+                        failures[key] = _failure_payload(
+                            request, error, time.monotonic() - started)
+            return self.stats.simulations - simulations_before, failures
+
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        payloads = [
+            (self._ctor_kwargs(), workload, [request for request, _key in pairs],
+             {"isolate": True,
+              "attempts": {key: attempts.get(key, 0) for _request, key in pairs}})
+            for workload, pairs in pending
+        ]
+        with ctx.Pool(processes=processes) as pool:
+            for result in pool.map(_run_group, payloads):
+                failures.update(self._merge_group(result))
+        return self.stats.simulations - simulations_before, failures
+
+    # ------------------------------------------------------------------
     def request_key(self, request: SimRequest) -> str:
         """Public content key of a request (used by the campaign scheduler)."""
         return self._request_key(request)
 
     def _request_key(self, request: SimRequest) -> str:
         """Content key of a request — no trace/profile building required."""
-        from repro.workloads.suites import get_workload
-
-        workload = get_workload(request.workload)
-        if request.kind == "segmented":
-            return self.segmented_key_for(
-                workload, request.dla_config, request.dynamic, request.system_config
-            )
-        return self.workload_key(
-            workload, request.kind,
-            request.system_config, request.dla_config,
-        )
+        return _request_content_key(self, request)
 
     def screen(self, requests: Sequence[SimRequest],
                keys: Optional[Sequence[str]] = None) -> Dict[str, bool]:
@@ -306,14 +441,21 @@ class ParallelExperimentRunner(ExperimentRunner):
             return self.has_segmented, self.inject_segmented
         return self.has_dla, self.inject_dla
 
-    def _merge_group(self, result) -> None:
+    def _merge_group(self, result) -> Dict[str, Dict[str, object]]:
         _workload, outcomes, worker_stats, warm_delta = result
         # Workers share this runner's disk-cache setting (see _ctor_kwargs):
         # if the disk cache is on, every fresh outcome was already persisted
         # by the worker that computed it — don't pickle it all again here.
+        failures: Dict[str, Dict[str, object]] = {}
         for kind, key, outcome in outcomes:
+            if kind == "failed":
+                # Isolated-mode sentinel: ``outcome`` is a failure payload,
+                # not a result.  Nothing is cached — the cell stays pending.
+                failures[key] = outcome
+                continue
             _has, inject = self._cache_ops(kind)
             inject(key, outcome, persist=False)
         self.stats.merge(worker_stats)
         for name, value in warm_delta.items():
             self._worker_warm[name] = self._worker_warm.get(name, 0) + value
+        return failures

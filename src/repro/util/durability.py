@@ -1,0 +1,109 @@
+"""Crash-consistent file writes and orphaned-temp-file hygiene.
+
+Every durable artifact in this codebase (disk-cache entries, campaign
+manifests, failure records) is written with the same two-step contract:
+write a sibling temp file, then atomically ``os.replace`` it over the final
+name.  That protects *readers* from partial files, but not the files
+themselves from a crash: without an ``fsync`` the rename can be durable
+while the data is not (a power loss can leave a zero-length or truncated
+final file on some filesystems), and a process killed between "write temp"
+and "rename" leaves ``*.tmp.*`` debris behind forever.
+
+This module hardens both edges:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` flush and fsync the
+  temp file *before* the rename (and best-effort fsync the directory after
+  it), so a crash can never promote un-synced data to the final name;
+* :func:`sweep_orphan_tmps` removes aged ``*.tmp.*`` files on store/cache
+  open, so debris from a mid-write crash cannot accumulate or trip later
+  reads.  The sweep is age-gated (default 10 minutes) so it can never race
+  a live writer's in-flight temp file.
+
+Everything is best-effort on errors: durability hardening must never turn a
+read-only or full filesystem into a crash (the caches and stores already
+degrade gracefully there).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional
+
+#: Temp files older than this are considered orphaned by a crashed writer.
+#: Live writers hold a temp file for milliseconds; ten minutes is paranoid.
+ORPHAN_TMP_AGE = 600.0
+
+#: The sweep glob.  Both the disk cache (``<name>.tmp.<pid>``) and the
+#: campaign store (``<name>.tmp.<pid>.<tid>``) follow this naming scheme.
+ORPHAN_TMP_GLOB = "*.tmp.*"
+
+
+def fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (makes a rename itself durable)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes,
+                       tmp: Optional[Path] = None) -> None:
+    """Durably write ``data`` to ``path``: temp + fsync + rename + dir fsync.
+
+    ``tmp`` overrides the temp-file path (callers with their own
+    process/thread-unique naming scheme pass it in); the default is
+    ``<name>.tmp.<pid>``, which :func:`sweep_orphan_tmps` recognises.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if tmp is None:
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(path: Path, text: str,
+                      tmp: Optional[Path] = None) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"), tmp=tmp)
+
+
+def sweep_orphan_tmps(directory: Path,
+                      max_age_seconds: float = ORPHAN_TMP_AGE) -> List[Path]:
+    """Remove aged ``*.tmp.*`` debris under ``directory``; returns removals.
+
+    Only files whose mtime is older than ``max_age_seconds`` are touched, so
+    a concurrent writer's in-flight temp file (age: milliseconds) is never
+    swept.  Errors (vanished files, permissions) are ignored — hygiene must
+    never break the caller.
+    """
+    import time
+
+    removed: List[Path] = []
+    directory = Path(directory)
+    if not directory.is_dir():
+        return removed
+    cutoff = time.time() - max_age_seconds
+    try:
+        candidates = list(directory.glob(ORPHAN_TMP_GLOB))
+    except OSError:
+        return removed
+    for path in candidates:
+        try:
+            if path.stat().st_mtime >= cutoff:
+                continue
+            path.unlink()
+            removed.append(path)
+        except OSError:
+            continue
+    return removed

@@ -46,7 +46,11 @@ def _runner(spec: CampaignSpec) -> ParallelExperimentRunner:
     )
 
 
-class _KilledMidCampaign(Exception):
+class _KilledMidCampaign(BaseException):
+    # BaseException, not Exception: this simulates the *process* dying
+    # (kill -9 / Ctrl-C), which must sail through the cell-failure
+    # isolation layer.  An ordinary Exception would now (correctly) be
+    # captured as a per-cell failure record and retried instead.
     pass
 
 

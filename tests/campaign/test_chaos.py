@@ -1,0 +1,130 @@
+"""Chaos acceptance test: a seeded fault plan (raise + hang->timeout +
+truncated cache write) thrown at a 2-worker campaign must converge to
+artifacts byte-identical to a fault-free single-host run."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.campaign.health import RetryPolicy
+from repro.campaign.render import render_campaign
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import CampaignSpec, variants
+from repro.campaign.store import CampaignStore
+from repro.util import faults
+
+WINDOW = dict(warmup_instructions=1500, timed_instructions=1500)
+
+FAST_POLICY = RetryPolicy(max_attempts=3, backoff_base=0.01)
+
+#: The seeded chaos plan: one transient raise, one hang (killed by the
+#: cell watchdog), one torn cache write (caught by the checksum verify).
+#: ``attempts=1`` gates the simulation faults to first attempts only, so
+#: retries converge; ``times=1`` budgets each in the shared ledger.
+CHAOS_PLAN = (
+    "cell.simulate:raise:times=1,attempts=1;"
+    "cell.simulate:hang:times=1,attempts=1,seconds=60;"
+    "cache.write:truncate:times=1"
+)
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="chaos-test",
+        title="Chaos campaign",
+        experiment="repro.experiments.fig10_energy",
+        workloads=("libquantum",),
+        variants=variants(
+            dict(name="bl", kind="baseline"),
+            dict(name="dla", kind="dla", dla_preset="dla"),
+            dict(name="r3", kind="dla", dla_preset="r3"),
+        ),
+        **WINDOW,
+    )
+
+
+def _scheduler(spec, store, **kwargs) -> CampaignScheduler:
+    return CampaignScheduler(spec, store=store, processes=1,
+                             bench_report=False, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def inert_plan():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def test_chaos_campaign_matches_fault_free_artifacts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    spec = _spec()
+
+    # ------------------------------------------------------------------
+    # Reference: fault-free single-host run in its own cache universe.
+    # ------------------------------------------------------------------
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-ref"))
+    ref_store = CampaignStore(spec.name, tmp_path / "campaigns-ref")
+    summary = _scheduler(spec, ref_store).run()
+    assert summary["cells_total"] == 3
+    render_campaign(spec.name, store=ref_store,
+                    out_dir=str(tmp_path / "artifacts-ref"))
+
+    # ------------------------------------------------------------------
+    # Chaos: two workers + the seeded plan, separate cache universe.
+    # ------------------------------------------------------------------
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-chaos"))
+    faults.activate(faults.FaultPlan.parse(
+        CHAOS_PLAN, ledger_dir=tmp_path / "cache-chaos" / "faults"))
+    chaos_store = CampaignStore(spec.name, tmp_path / "campaigns-chaos")
+
+    summaries = {}
+    errors = []
+
+    def worker(name: str) -> None:
+        try:
+            # Every cell under a watchdog: the hang fault must become a
+            # retryable CellTimeout, not a stuck worker.
+            summaries[name] = _scheduler(
+                spec, chaos_store, retry_policy=FAST_POLICY,
+                cell_timeout=5.0,
+            ).run_worker(owner=name, ttl=60.0, poll_seconds=0.05,
+                         finalize=False)
+        except BaseException as error:   # noqa: BLE001 - surface in main thread
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(f"w{i}",))
+               for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    assert not errors
+    assert all(summary["complete"] for summary in summaries.values())
+
+    # The faults actually fired and left their audit trail behind.
+    status = chaos_store.status()
+    assert status["retries"] >= 2        # the raise + the timed-out hang
+    assert status["quarantined"] >= 1    # the torn write, caught on read
+    assert status["cells_failed"] == 0   # all transient: converged clean
+    records = chaos_store.failures()
+    fired_kinds = {record["error_type"] for record in records.values()}
+    assert "InjectedFault" in fired_kinds
+    assert "CellTimeout" in fired_kinds
+
+    # Fan-in: merge + render, then compare against the reference bytes.
+    merged = _scheduler(spec, chaos_store).finalize()
+    assert "cells_failed" not in merged
+    assert "health" not in chaos_store.load_result()
+    render_campaign(spec.name, store=chaos_store,
+                    out_dir=str(tmp_path / "artifacts-chaos"))
+
+    ref_dir = tmp_path / "artifacts-ref" / spec.name
+    chaos_dir = tmp_path / "artifacts-chaos" / spec.name
+    ref_files = sorted(path.name for path in ref_dir.iterdir())
+    assert ref_files == sorted(path.name for path in chaos_dir.iterdir())
+    assert ref_files                                  # md + json + csv(s)
+    for name in ref_files:
+        assert (ref_dir / name).read_bytes() == \
+            (chaos_dir / name).read_bytes(), f"artifact {name} differs"

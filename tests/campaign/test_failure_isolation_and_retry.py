@@ -1,0 +1,264 @@
+"""Cell failure isolation: capture, bounded retries, poisoning, degraded
+artifacts, and the CLI exit-code contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.campaign.health import RetryPolicy
+from repro.campaign.render import render_markdown
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import CampaignSpec, variants
+from repro.campaign.store import CampaignStore
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.util import faults
+
+WINDOW = dict(warmup_instructions=1500, timed_instructions=1500)
+
+#: Milliseconds-scale backoff so retry rounds don't slow the suite down.
+FAST_POLICY = RetryPolicy(max_attempts=3, backoff_base=0.01)
+
+
+@pytest.fixture(autouse=True)
+def inert_plan():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    path = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(path))
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    return path
+
+
+def _spec(workloads=("libquantum", "mcf")) -> CampaignSpec:
+    return CampaignSpec(
+        name="fault-test",
+        title="Failure isolation campaign",
+        experiment="repro.experiments.fig10_energy",
+        workloads=tuple(workloads),
+        variants=variants(
+            dict(name="bl", kind="baseline"),
+            dict(name="dla", kind="dla", dla_preset="dla"),
+            dict(name="r3", kind="dla", dla_preset="r3"),
+        ),
+        **WINDOW,
+    )
+
+
+class _BrokenDlaRunner(ParallelExperimentRunner):
+    """Deterministic *permanent* defect: every DLA simulation of one
+    workload raises — the isolated path, the retries, and artefact assembly
+    all hit the same bug, exactly like a real code defect would."""
+
+    broken_workload = "mcf"
+
+    def dla(self, setup, dla_config, label, config=None):
+        if setup.name == self.broken_workload:
+            raise ValueError(f"simulated permanent defect in {setup.name}")
+        return super().dla(setup, dla_config, label, config)
+
+
+def _runner(spec, cls=ParallelExperimentRunner):
+    return cls(
+        quick=True, workload_names=spec.resolve_workloads(), processes=1,
+        warmup_instructions=spec.warmup_instructions,
+        timed_instructions=spec.timed_instructions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# isolation primitive
+# ---------------------------------------------------------------------------
+def test_warm_isolated_captures_failures_and_keeps_going(cache_dir, tmp_path):
+    spec = _spec()
+    runner = _runner(spec, _BrokenDlaRunner)
+    scheduler = CampaignScheduler(spec, store=CampaignStore(
+        spec.name, tmp_path / "campaigns"), runner=runner, bench_report=False)
+    requests = [request for _key, request in scheduler.keyed_cells()]
+    executed, failures = runner.warm_isolated(requests)
+
+    assert len(failures) == 2                    # mcf/dla + mcf/r3
+    assert executed == len(requests) - 2         # the rest still ran
+    for info in failures.values():
+        assert info["error_type"] == "ValueError"
+        assert "permanent defect" in info["message"]
+        assert len(info["traceback_digest"]) == 12
+        assert info["workload"] == "mcf"
+        assert info["duration_seconds"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# transient failures converge clean
+# ---------------------------------------------------------------------------
+def test_transient_fault_retries_to_clean_convergence(cache_dir, tmp_path):
+    spec = _spec(workloads=("libquantum",))
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    # Every cell's *first* attempt raises (attempt-gated); retries are clean.
+    faults.activate(faults.FaultPlan.parse(
+        "cell.simulate:raise:times=none,attempts=1",
+        ledger_dir=tmp_path / "ledger",
+    ))
+    scheduler = CampaignScheduler(spec, store=store, runner=_runner(spec),
+                                  bench_report=False,
+                                  retry_policy=FAST_POLICY)
+    summary = scheduler.run()
+
+    assert "cells_failed" not in summary          # converged clean
+    result = store.load_result()
+    assert "health" not in result                 # fault-free-identical shape
+    assert result["tables"]["energy_summary"]
+    status = store.status()
+    assert status["state"] == "complete"
+    assert status["cells_failed"] == 0
+    assert status["retries"] == 3                 # one failed attempt per cell
+    # The failure records survive the successful retries, for audit.
+    assert all(not record["poisoned"] for record in store.failures().values())
+
+
+# ---------------------------------------------------------------------------
+# permanent failures poison + degrade (never abort)
+# ---------------------------------------------------------------------------
+def test_permanent_failure_poisons_and_assembles_degraded(cache_dir, tmp_path):
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    scheduler = CampaignScheduler(spec, store=store,
+                                  runner=_runner(spec, _BrokenDlaRunner),
+                                  bench_report=False,
+                                  retry_policy=FAST_POLICY)
+    summary = scheduler.run()                     # must NOT raise
+
+    assert summary["cells_failed"] == 2
+    result = store.load_result()
+    health = result["health"]
+    assert health["state"] == "degraded"
+    assert len(health["failed"]) == 2
+    for entry in health["failed"]:
+        assert entry["error_type"] == "ValueError"
+        assert entry["workload"] == "mcf"
+        assert entry["attempts"] == FAST_POLICY.max_attempts
+    # Assembly hit the same defect -> explicit degraded stub, not a crash.
+    assert result["text"].startswith("DEGRADED:")
+
+    markdown = render_markdown(result)
+    assert "## health: DEGRADED" in markdown
+    assert "ValueError" in markdown
+
+    status = store.status()
+    assert status["state"] == "degraded"
+    assert status["cells_failed"] == 2
+    assert status["retries"] == 2 * FAST_POLICY.max_attempts
+
+    manifest = store.load_manifest()
+    failed_cells = [info for info in manifest["cells"].values()
+                    if info.get("status") == "failed"]
+    assert len(failed_cells) == 2
+
+
+def test_poisoned_cells_skipped_on_rerun_and_finalize_never_blocks(
+        cache_dir, tmp_path):
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    CampaignScheduler(spec, store=store,
+                      runner=_runner(spec, _BrokenDlaRunner),
+                      bench_report=False, retry_policy=FAST_POLICY).run()
+
+    # A rerun does not burn attempts re-proving poisoned cells...
+    rerun = _runner(spec, _BrokenDlaRunner)
+    summary = CampaignScheduler(spec, store=store, runner=rerun,
+                                bench_report=False,
+                                retry_policy=FAST_POLICY).run()
+    assert summary["cells_failed"] == 2
+    records = store.failures()
+    assert all(record["attempts"] == FAST_POLICY.max_attempts
+               for record in records.values())
+
+    # ...and finalize assembles around them instead of CampaignIncomplete.
+    merged = CampaignScheduler(spec, store=store,
+                               runner=_runner(spec, _BrokenDlaRunner),
+                               bench_report=False).finalize()
+    assert merged["cells_failed"] == 2
+
+
+def test_worker_loop_poisons_and_reports(cache_dir, tmp_path):
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    scheduler = CampaignScheduler(spec, store=store,
+                                  runner=_runner(spec, _BrokenDlaRunner),
+                                  bench_report=False,
+                                  retry_policy=FAST_POLICY)
+    summary = scheduler.run_worker(owner="w0", ttl=60.0, poll_seconds=0.05,
+                                   finalize=True)
+    assert summary["cells_failed"] == 2
+    assert not summary["complete"]               # poisoned cells remain
+    assert summary["finalized"]                  # but the campaign converged
+    assert store.load_result()["health"]["state"] == "degraded"
+    assert not store.leases()                    # nothing left held
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+def _write_spec(tmp_path, spec) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    return str(path)
+
+
+def test_cli_worker_cell_timeout_flips_exit_code(cache_dir, tmp_path,
+                                                 monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    spec = _spec(workloads=("libquantum",))
+    spec_file = _write_spec(tmp_path, spec)
+    # A watchdog budget no simulation can meet: every cell times out, gets
+    # retried, and is poisoned — hangs become bounded, retryable failures.
+    code = main([
+        "run", "--spec", spec_file, "--worker", "--ttl", "60",
+        "--poll", "0.05", "--retries", "2", "--retry-backoff", "0.01",
+        "--cell-timeout", "0.001", "--no-render",
+    ])
+    capsys.readouterr()
+    assert code == 1
+
+    records = CampaignStore(spec.name).failures()
+    assert len(records) == 3
+    for record in records.values():
+        assert record["error_type"] == "CellTimeout"
+        assert record["poisoned"]
+        assert record["attempts"] == 2
+    # The degraded merge still produced a result — with its failure roster.
+    # (Assembly runs without the watchdog, so the fast cells self-healed
+    # into full tables; the health section records what had failed.)
+    result = CampaignStore(spec.name).load_result()
+    assert len(result["health"]["failed"]) == 3
+
+
+def test_cli_status_exit_code_on_failed_cells(cache_dir, tmp_path,
+                                              monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    spec = _spec()
+    # Default store root (under REPRO_CACHE_DIR) so the CLI finds it.
+    CampaignScheduler(spec, store=CampaignStore(spec.name),
+                      runner=_runner(spec, _BrokenDlaRunner),
+                      bench_report=False, retry_policy=FAST_POLICY).run()
+
+    code = main(["status", spec.name, "--json"])
+    captured = capsys.readouterr()
+    assert code == 1                              # failed cells gate CI
+    payload = json.loads(captured.out)[spec.name]
+    assert payload["state"] == "degraded"
+    assert payload["cells_failed"] == 2
+    assert payload["retries"] == 2 * FAST_POLICY.max_attempts
+
+    # The human-readable form carries the same signal (plus exit code).
+    code = main(["status", spec.name])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "2 FAILED" in captured.out
+    assert "retries 6" in captured.out
