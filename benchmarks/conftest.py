@@ -15,11 +15,13 @@ default "quick" mode uses a representative subset so the whole harness
 completes in well under a minute.
 
 When the *complete* benchmark suite runs and passes, the session records
-suite wall-time and simulated instructions/second in
-``BENCH_sim_throughput.json`` so the performance trajectory is tracked
-PR-over-PR.  Partial runs (``-k`` filters, single files), failing sessions
-and sessions that were served (even partially) from the disk cache do not
-overwrite the trajectory numbers — only cold-cache runs are comparable.
+suite wall-time, simulated instructions/second and the aggregate memory
+contention stall share (stall cycles over simulated cycles, from the
+``memsys`` telemetry spine) in ``BENCH_sim_throughput.json`` so the
+performance *and* contention trajectories are tracked PR-over-PR.  Partial
+runs (``-k`` filters, single files), failing sessions and sessions that
+were served (even partially) from the disk cache do not overwrite the
+trajectory numbers — only cold-cache runs are comparable.
 """
 
 import time
@@ -93,7 +95,11 @@ def pytest_sessionfinish(session, exitstatus):
         return
     wall = time.perf_counter() - _IMPORT_T0
     mode = "quick" if _RUNNER.quick else "full"
+    # ``as_dict`` carries instructions/second plus the aggregate contention
+    # telemetry (simulated_cycles / contention_stall_cycles / stall share).
     payload = dict(_RUNNER.stats.as_dict())
+    payload["contention_stall_share"] = round(
+        _RUNNER.stats.contention_stall_share, 6)
     payload["suite_wall_seconds"] = round(wall, 2)
     payload["workloads"] = len(_RUNNER.workload_names)
     # Warmup replays avoided by the warmed-memory memo this session

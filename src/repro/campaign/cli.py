@@ -10,6 +10,7 @@ Subcommands::
     repro merge NAME...                  # assemble + render once cells land
     repro render NAME... [--out DIR]     # stored results -> CSV/MD/JSON
     repro status [NAME...] [--json]      # cell-level progress per campaign
+    repro monitor NAME [--summary|--json|--follow]   # timeline + anomalies
     repro clean NAME... | --all          # drop campaign bookkeeping
 
 ``run`` is resumable by construction: every simulation persists in the
@@ -26,6 +27,12 @@ workers' cells are reclaimed after expiry), and ``merge`` assembles the
 final artifacts once every cell is in the cache — bit-identical to a
 single-host run.  ``status --json`` gives orchestrators machine-readable
 done/leased/pending counts.
+
+``monitor`` reads the per-campaign event journals
+(:mod:`repro.campaign.telemetry`) and renders the merged timeline —
+per-worker roll-ups, cell-latency percentiles, a throughput sparkline and
+deterministic anomaly flags (:mod:`repro.campaign.monitor`).  The exit code
+is 1 when anomalies are present, so CI can gate on fleet health.
 """
 
 from __future__ import annotations
@@ -165,6 +172,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--json", action="store_true", dest="as_json",
                           help="machine-readable status (cell counts: "
                                "done/leased/pending) for CI and dispatchers")
+
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="merged event timeline, per-worker roll-ups and anomaly flags "
+             "(exit 1 when anomalies are present)",
+    )
+    p_monitor.add_argument("campaign", metavar="NAME")
+    p_monitor.add_argument("--summary", action="store_true",
+                           help="one-shot ASCII dashboard (default unless "
+                                "--json is given)")
+    p_monitor.add_argument("--json", action="store_true", dest="as_json",
+                           help="machine-readable timeline (stdout, or "
+                                "--out FILE)")
+    p_monitor.add_argument("--follow", action="store_true",
+                           help="poll and re-render until the campaign "
+                                "completes")
+    p_monitor.add_argument("--interval", type=float, default=2.0,
+                           metavar="SECONDS",
+                           help="poll interval for --follow (default: 2)")
+    p_monitor.add_argument("--out", default=None, metavar="FILE",
+                           help="write the JSON timeline to FILE "
+                                "(with --json)")
 
     p_clean = sub.add_parser("clean", help="drop campaign bookkeeping "
                                            "(simulation cache is untouched)")
@@ -374,6 +403,32 @@ def _cmd_status(args) -> int:
     return 1 if unhealthy else 0
 
 
+def _cmd_monitor(args) -> int:
+    import time as _time
+
+    from repro.campaign.monitor import build_timeline, render_summary
+
+    store = CampaignStore(args.campaign)
+    while True:
+        timeline = build_timeline(store)
+        show_summary = args.summary or args.follow or not args.as_json
+        if show_summary:
+            print(render_summary(timeline), end="")
+        if not args.follow or timeline.get("state") in (
+                "complete", "degraded"):
+            break
+        _time.sleep(args.interval)
+        print("-" * 72)
+    if args.as_json:
+        text = json.dumps(timeline, indent=2, sort_keys=True) + "\n"
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"[{args.campaign}] wrote {args.out}")
+        else:
+            print(text, end="")
+    return 1 if timeline.get("anomalies") else 0
+
+
 def _cmd_clean(args) -> int:
     names = list(args.campaigns)
     if args.clean_all:
@@ -401,6 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_render(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "monitor":
+            return _cmd_monitor(args)
         if args.command == "clean":
             return _cmd_clean(args)
     except (SpecError, ShardError) as error:

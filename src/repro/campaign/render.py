@@ -147,6 +147,13 @@ def render_campaign(
     for table_name, rows in tables.items():
         if rows:
             written.append(write_csv(out / f"{table_name}.csv", rows))
+    health = result.get("health")
+    if health and health.get("failed"):
+        # Degraded campaigns surface their failure roster in every format:
+        # the Markdown health block, the JSON ``health`` key, and this CSV.
+        # Healthy runs never write it, so fault-free artifacts are unchanged
+        # byte for byte.
+        written.append(write_csv(out / "health.csv", health["failed"]))
     markdown = out / f"{name}.md"
     markdown.write_text(render_markdown(result) + "\n")
     written.append(markdown)

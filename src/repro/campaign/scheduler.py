@@ -59,6 +59,7 @@ from repro.campaign.health import (
 )
 from repro.campaign.spec import CampaignSpec, SpecError
 from repro.campaign.store import CampaignStore, DEFAULT_LEASE_TTL
+from repro.campaign.telemetry import EventJournal, outcome_measures
 from repro.experiments.parallel import ParallelExperimentRunner, SimRequest
 from repro.util import faults
 from repro.util.sharding import partition
@@ -149,6 +150,46 @@ class CampaignScheduler:
         #: Lazy keyed-cell matrix — spec and runner are fixed for this
         #: scheduler's lifetime, so the (key, request) list is computed once.
         self._keyed_cells: Optional[List[Tuple[str, SimRequest]]] = None
+        #: Per-owner event journal (campaign telemetry).  ``None`` until an
+        #: execution entry point opens one, so every ``_emit`` is a no-op
+        #: outside campaign runs — telemetry is inert by default and only
+        #: ever fires at cell granularity, never on the simulator hot path.
+        self.journal: Optional[EventJournal] = None
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _open_journal(self, owner: str) -> None:
+        """Open this scheduler's event journal (idempotent; first owner
+        wins — a worker that finalises keeps journaling as itself)."""
+        if self.journal is None:
+            self.journal = EventJournal(self.store.events_path, owner)
+
+    def _emit(self, event: str, key: Optional[str] = None,
+              **fields: object) -> None:
+        if self.journal is not None:
+            self.journal.emit(event, key=key, **fields)
+
+    def _cell_measures(self, key: str,
+                       stats_delta=None) -> Dict[str, object]:
+        """Per-cell measures for a ``cell.finished`` event.
+
+        Content-determined parts (instructions, cycles, stall share) come
+        from the cached outcome; volatile parts (sim wall seconds, inst/s)
+        from the runner-stats delta around the cell — only present when
+        this process actually simulated (a cache-served cell has no
+        meaningful wall time).
+        """
+        measures: Dict[str, object] = {}
+        outcome = self.runner.cached_outcome(key)
+        if outcome is not None:
+            measures.update(outcome_measures(outcome))
+        if stats_delta is not None and stats_delta.simulations > 0:
+            measures["sim_seconds"] = round(
+                stats_delta.simulation_seconds, 3)
+            measures["inst_per_second"] = round(
+                stats_delta.instructions_per_second, 1)
+        return measures
 
     # ------------------------------------------------------------------
     @property
@@ -225,6 +266,9 @@ class CampaignScheduler:
         started = time.perf_counter()
         stats_before = self.runner.stats.copy()
 
+        self._open_journal(f"run-{default_owner()}")
+        self._emit("worker.started", mode="run", run_mode=self.mode,
+                   cells=len(self.keyed_cells()))
         self.progress(
             f"[{self.spec.name}] {len(requests)} cells across "
             f"{len(self.cell_workloads())} workloads ({self.mode} mode)"
@@ -251,9 +295,12 @@ class CampaignScheduler:
                 f"{len(succeeded) - executed} from cache "
                 f"({cell_stats.simulation_seconds:.1f}s simulating)"
             )
-        return self._assemble(manifest, started, stats_before,
-                              cells_total=len(requests), executed=executed,
-                              failures=failures or None)
+        summary = self._assemble(manifest, started, stats_before,
+                                 cells_total=len(requests), executed=executed,
+                                 failures=failures or None)
+        self._emit("worker.stopped", mode="run",
+                   **self.runner.stats.since(stats_before).as_dict())
+        return summary
 
     def _drive_cells(
         self, requests: List[SimRequest], processes: Optional[int] = None,
@@ -285,6 +332,12 @@ class CampaignScheduler:
             else:
                 pending.append((request, key))
         while pending:
+            for request, key in pending:
+                prior = attempts.get(key, 0)
+                self._emit("cell.started", key=key, attempt=prior + 1,
+                           workload=request.workload, variant=request.label)
+                if prior > 0:
+                    self._emit("cell.retried", key=key, attempt=prior + 1)
             executed, failures = self.runner.warm_isolated(
                 [request for request, _key in pending],
                 processes=processes,
@@ -295,6 +348,10 @@ class CampaignScheduler:
             for request, key in pending:
                 info = failures.get(key)
                 if info is None:
+                    self._emit("cell.finished", key=key,
+                               workload=request.workload,
+                               variant=request.label,
+                               **self._cell_measures(key))
                     continue
                 count = attempts.get(key, 0) + 1
                 attempts[key] = count
@@ -303,7 +360,16 @@ class CampaignScheduler:
                     workload=request.workload, variant=request.label,
                 )
                 self.store.record_failure(key, record)
-                if record_poisoned(record):
+                poisoned_now = record_poisoned(record)
+                self._emit("cell.failed", key=key, attempt=count,
+                           workload=request.workload, variant=request.label,
+                           error_type=info.get("error_type"),
+                           message=info.get("message"),
+                           poisoned=poisoned_now)
+                if info.get("error_type") == "CellTimeout":
+                    self._emit("watchdog.timeout", key=key, attempt=count)
+                if poisoned_now:
+                    self._emit("cell.poisoned", key=key, attempts=count)
                     dead[key] = record
                 else:
                     retrying.append((request, key))
@@ -337,11 +403,23 @@ class CampaignScheduler:
         started = time.perf_counter()
         stats_before = self.runner.stats.copy()
 
+        self._open_journal(f"shard-{index}-of-{count}-{default_owner()}")
+        self._emit("worker.started", mode="shard", shard=f"{index}/{count}",
+                   run_mode=self.mode, cells=len(requests),
+                   cells_total=total)
         self.progress(
             f"[{self.spec.name}] shard {index}/{count}: {len(requests)} of "
             f"{total} cells ({self.mode} mode)"
         )
+        for key, request in keyed:
+            # Static assignment is this mode's "claim": the partition is the
+            # lease, computed identically by every shard.
+            self._emit("cell.claimed", key=key, static=True,
+                       workload=request.workload, variant=request.label)
         executed = self.runner.warm(requests) if requests else 0
+        for key, request in keyed:
+            self._emit("cell.finished", key=key, workload=request.workload,
+                       variant=request.label, **self._cell_measures(key))
         self._record_cells(manifest, requests, owner=f"shard-{index}/{count}")
         run_stats = self.runner.stats.since(stats_before)
 
@@ -356,6 +434,8 @@ class CampaignScheduler:
         }
         summary.update(run_stats.as_dict())
         self.store.record_run(manifest, summary)
+        self._emit("worker.stopped", mode="shard", shard=f"{index}/{count}",
+                   **run_stats.as_dict())
         self.progress(
             f"[{self.spec.name}] shard {index}/{count} done: {executed} "
             f"simulated, {len(requests) - executed} from cache"
@@ -406,16 +486,31 @@ class CampaignScheduler:
         waiting_logged = False
         interrupted = False
 
+        self._open_journal(owner)
+        self._emit("worker.started", mode="worker", run_mode=self.mode,
+                   cells=len(keyed), ttl=ttl, batch_size=batch_size)
         self.progress(
             f"[{self.spec.name}] worker {owner}: {len(keyed)} cells "
             f"({self.mode} mode, ttl {ttl:g}s)"
         )
         all_keys = [key for key, _request in keyed]
+        screen_logged = False
         previous_handlers = self._install_signal_handlers()
         try:
             while True:
-                self.store.reclaim_stale()
+                reclaimed = self.store.reclaim_stale()
+                if reclaimed:
+                    self._emit("lease.reclaimed", count=len(reclaimed),
+                               keys=sorted(reclaimed))
                 availability = self.runner.screen(all_requests, keys=all_keys)
+                if not screen_logged:
+                    # Only the first screen is journaled: the poll loop
+                    # re-screens every few seconds and a per-poll event
+                    # would bloat the journal without adding information.
+                    hits = sum(1 for done in availability.values() if done)
+                    self._emit("cache.screen", hits=hits,
+                               misses=len(availability) - hits)
+                    screen_logged = True
                 records = self.store.failures()
                 unfinished = [key for key, _request in keyed
                               if not availability[key]]
@@ -454,6 +549,11 @@ class CampaignScheduler:
                 waiting_logged = False
                 claimed_total += len(claimed)
                 remaining = list(claimed)
+                for key in claimed:
+                    claimed_request = requests_by_key[key]
+                    self._emit("cell.claimed", key=key,
+                               workload=claimed_request.workload,
+                               variant=claimed_request.label)
                 try:
                     for key in claimed:
                         # Chaos site: a seeded kill fault drops the whole
@@ -462,12 +562,24 @@ class CampaignScheduler:
                         faults.probe(faults.SITE_WORKER_KILL, key=key)
                         request = requests_by_key[key]
                         prior = int((records.get(key) or {}).get("attempts", 0))
+                        self._emit("cell.started", key=key, attempt=prior + 1,
+                                   workload=request.workload,
+                                   variant=request.label)
+                        if prior > 0:
+                            self._emit("cell.retried", key=key,
+                                       attempt=prior + 1)
+                        cell_stats_before = self.runner.stats.copy()
                         # Inline execution (one cell = one workload group, so
                         # a pool adds overhead without parallelism) — or a
                         # watchdog subprocess when --cell-timeout is set.
                         info = self._run_cell_guarded(request, key, prior)
+                        cell_stats = self.runner.stats.since(cell_stats_before)
                         remaining.remove(key)
                         if info is None:
+                            self._emit("cell.finished", key=key,
+                                       workload=request.workload,
+                                       variant=request.label,
+                                       **self._cell_measures(key, cell_stats))
                             self._record_cells(manifest, [request], owner=owner)
                             self.store.release_leases([key], owner)
                             self.progress(
@@ -484,7 +596,18 @@ class CampaignScheduler:
                             )
                             self.store.record_failure(key, record)
                             records[key] = record
+                            self._emit("cell.failed", key=key, attempt=count,
+                                       workload=request.workload,
+                                       variant=request.label,
+                                       error_type=info.get("error_type"),
+                                       message=info.get("message"),
+                                       poisoned=record_poisoned(record))
+                            if info.get("error_type") == "CellTimeout":
+                                self._emit("watchdog.timeout", key=key,
+                                           attempt=count)
                             if record_poisoned(record):
+                                self._emit("cell.poisoned", key=key,
+                                           attempts=count)
                                 self._record_failed_cells(
                                     manifest, {key: record})
                             self.store.release_leases([key], owner)
@@ -499,7 +622,10 @@ class CampaignScheduler:
                                 f"{info.get('message')}) — {state}"
                             )
                         if remaining:
-                            self.store.renew_leases(remaining, owner, ttl=ttl)
+                            renewed = self.store.renew_leases(
+                                remaining, owner, ttl=ttl)
+                            self._emit("lease.renewed", count=renewed,
+                                       held=len(remaining))
                 finally:
                     # On an exception, signal or Ctrl-C mid-batch, hand the
                     # unfinished claims straight back instead of making
@@ -509,6 +635,7 @@ class CampaignScheduler:
                         self.store.release_leases(remaining, owner)
         except WorkerShutdown as shutdown:
             interrupted = True
+            self._emit("worker.signal", reason=str(shutdown))
             self.progress(
                 f"[{self.spec.name}] worker {owner}: {shutdown} — leases "
                 f"released, exiting cleanly (rerun to resume)"
@@ -541,6 +668,13 @@ class CampaignScheduler:
         summary.update(run_stats.as_dict())
         self.store.record_run(manifest, summary)
         summary["complete"] = complete
+        if (self.runner.disk_cache is not None
+                and self.runner.disk_cache.quarantine_count() > 0):
+            self._emit("cache.quarantine",
+                       count=self.runner.disk_cache.quarantine_count())
+        self._emit("worker.stopped", mode="worker",
+                   cells_claimed=claimed_total, interrupted=interrupted,
+                   complete=complete, **run_stats.as_dict())
         if converged and finalize:
             summary["finalized"] = True
             self.finalize(manifest=manifest)
@@ -680,6 +814,7 @@ class CampaignScheduler:
         """
         if manifest is None:
             manifest = self.store.begin(self.spec, self.mode)
+        self._open_journal(f"merge-{default_owner()}")
         keyed = self.keyed_cells()
         availability = self.runner.screen(
             [request for _key, request in keyed],
@@ -778,6 +913,11 @@ class CampaignScheduler:
         )
         self.store.save_result(payload)
 
+        self._emit("campaign.assembled",
+                   health="degraded" if failures else "ok",
+                   cells_total=cells_total,
+                   cells_failed=len(failures) if failures else 0,
+                   wall_seconds=round(wall, 2))
         if self.bench_report:
             from repro.experiments.bench import update_bench_report
 

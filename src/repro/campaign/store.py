@@ -21,6 +21,12 @@ One directory per campaign under ``.repro_cache/campaigns/<name>/`` holding:
     Creation uses ``os.link`` (atomic publish-with-content), so two workers
     racing for one cell cannot both win.
 
+``events/``
+    One append-only JSONL event journal per owner (worker/shard/run/merge)
+    — the campaign telemetry spine (:mod:`repro.campaign.telemetry`),
+    merged and aggregated by ``repro monitor``.  Operational only: journals
+    never feed rendered artifacts, so they carry no determinism burden.
+
 Resumability does **not** depend on the manifest or the leases: ground truth
 for "has this cell been simulated" is the fingerprint-keyed simulation disk
 cache (shared with the figure modules and the benchmark suite).  The
@@ -55,6 +61,15 @@ LEASES_DIR = "leases"
 #: type, traceback digest, attempt count, owner, retry/poison state).
 #: Records persist after a later success so retry counts stay auditable.
 FAILURES_DIR = "failures"
+#: One append-only JSONL event journal per campaign owner (see
+#: :mod:`repro.campaign.telemetry`).  Operational telemetry only — never an
+#: input to rendered artifacts.
+EVENTS_DIR = "events"
+
+#: Fault-injection fire-ledger markers (``<cache>/faults/``, see
+#: :mod:`repro.util.faults`) older than this are debris from finished chaos
+#: runs; swept from the store open path alongside orphan temp files.
+FAULT_LEDGER_AGE = 24 * 3600.0
 
 #: Manifest layout version.  v2 added per-cell completion records
 #: (``status``/``completed_by``) and the ``leases/`` directory; a v1 manifest
@@ -126,6 +141,10 @@ class CampaignStore:
     def failures_path(self) -> Path:
         return self.directory / FAILURES_DIR
 
+    @property
+    def events_path(self) -> Path:
+        return self.directory / EVENTS_DIR
+
     def load_manifest(self) -> Optional[Dict[str, object]]:
         try:
             manifest = json.loads(self.manifest_path.read_text())
@@ -149,12 +168,14 @@ class CampaignStore:
         """
         fingerprint = spec.fingerprint()
         manifest = self.load_manifest()
-        if (
+        had_manifest = manifest is not None
+        reset = (
             manifest is None
             or manifest.get("spec_fingerprint") != fingerprint
             or manifest.get("mode") != mode
             or manifest.get("schema") != MANIFEST_SCHEMA
-        ):
+        )
+        if reset:
             manifest = {
                 "schema": MANIFEST_SCHEMA,
                 "campaign": self.name,
@@ -169,8 +190,25 @@ class CampaignStore:
         # (age-gated, so live concurrent writers are never raced).
         for directory in (self.directory, self.leases_path, self.failures_path):
             sweep_orphan_tmps(directory)
+        self._sweep_telemetry(clear_events=reset and had_manifest)
         self.save_manifest(manifest)
         return manifest
+
+    def _sweep_telemetry(self, clear_events: bool = False) -> None:
+        """Age-gated hygiene for accumulating per-run debris.
+
+        Covers the two sources the orphan-temp sweep does not: event
+        journals of long-dead owners (or *all* journals when the manifest
+        was just reset — they describe a campaign shape that no longer
+        exists), and fault-injection fire-ledger markers left behind by
+        finished chaos runs.
+        """
+        from repro.campaign.telemetry import sweep_stale_journals
+        from repro.util.durability import sweep_aged_files
+        from repro.util.faults import default_ledger_dir
+
+        sweep_stale_journals(self.events_path, clear=clear_events)
+        sweep_aged_files(default_ledger_dir(), "*", FAULT_LEDGER_AGE)
 
     def record_cells(self, manifest: Dict[str, object],
                      records: Mapping[str, Mapping[str, object]],
@@ -524,11 +562,20 @@ class CampaignStore:
         that later succeeded) and ``quarantined`` (corrupt disk-cache entries
         moved aside).  A campaign whose result was assembled around poisoned
         cells reports state ``degraded`` rather than ``complete``.
+
+        Single-pass by contract: every store source (manifest, leases,
+        failure records, result, event journals) is read exactly once per
+        call — monitors polling this in a ``--follow`` loop must not
+        multiply I/O per counter group.  The payload carries the
+        ``spec_fingerprint`` so a monitor can detect spec drift between
+        polls, and ``telemetry`` roll-up counters (journal event totals,
+        owners seen) from :mod:`repro.campaign.telemetry`.
         """
         manifest = self.load_manifest()
         if manifest is None:
             return {"campaign": self.name, "state": "never run"}
         from repro.campaign.health import summarize_failures
+        from repro.campaign.telemetry import event_counts, load_events
         from repro.experiments.cache import (
             ResultDiskCache, disk_cache_enabled, salted_key,
         )
@@ -546,7 +593,8 @@ class CampaignStore:
         health = summarize_failures(self.failures(), done_keys=done_keys)
         # A result only counts as complete if it was assembled for the
         # manifest's current spec/mode; a mode or spec change leaves the old
-        # result.json behind until the new run finishes.
+        # result.json behind until the new run finishes.  ``has_result``
+        # derives from this same read — no second filesystem probe.
         result = self.load_result()
         assembled = (
             result is not None
@@ -557,10 +605,12 @@ class CampaignStore:
             state = "degraded" if health["failed"] else "complete"
         else:
             state = "partial"
+        events = load_events(self.events_path)
         return {
             "campaign": self.name,
             "state": state,
             "mode": manifest.get("mode"),
+            "spec_fingerprint": manifest.get("spec_fingerprint"),
             "cells_planned": len(cells),
             "cells_done": done,
             "cells_cached": done,
@@ -571,7 +621,12 @@ class CampaignStore:
             "cells_failed": health["failed"],
             "retries": health["retries"],
             "quarantined": quarantined,
-            "has_result": self.result_path.exists(),
+            "has_result": result is not None,
+            "telemetry": {
+                "events": len(events),
+                "owners": len({e.get("owner") for e in events}),
+                "event_counts": event_counts(events),
+            },
             "updated_at": manifest.get("updated_at"),
             "last_run": manifest.get("last_run"),
         }
@@ -605,6 +660,17 @@ class CampaignStore:
                     pass
             try:
                 self.failures_path.rmdir()
+            except OSError:
+                pass
+        if self.events_path.is_dir():
+            for path in self.events_path.glob("*.jsonl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                self.events_path.rmdir()
             except OSError:
                 pass
         try:

@@ -106,12 +106,25 @@ class RunnerStats:
     setup_seconds: float = 0.0
     memory_hits: int = 0
     disk_hits: int = 0
+    #: Simulated core cycles across executed simulations (all domains: for
+    #: DLA runs the main and look-ahead cores both count).
+    simulated_cycles: float = 0.0
+    #: Memory-backend contention stall cycles (sum of every ``stall_cycles``
+    #: leaf in the ``memsys`` telemetry) across executed simulations.
+    contention_stall_cycles: float = 0.0
 
     @property
     def instructions_per_second(self) -> float:
         if self.simulation_seconds <= 0.0:
             return 0.0
         return self.simulated_instructions / self.simulation_seconds
+
+    @property
+    def contention_stall_share(self) -> float:
+        """Fraction of simulated cycles spent in memory-contention stalls."""
+        if self.simulated_cycles <= 0.0:
+            return 0.0
+        return self.contention_stall_cycles / self.simulated_cycles
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -122,6 +135,9 @@ class RunnerStats:
             "instructions_per_second": round(self.instructions_per_second, 1),
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "simulated_cycles": round(self.simulated_cycles, 1),
+            "contention_stall_cycles": round(self.contention_stall_cycles, 1),
+            "contention_stall_share": round(self.contention_stall_share, 6),
         }
 
     def merge(self, other: "RunnerStats") -> None:
@@ -131,6 +147,8 @@ class RunnerStats:
         self.setup_seconds += other.setup_seconds
         self.memory_hits += other.memory_hits
         self.disk_hits += other.disk_hits
+        self.simulated_cycles += other.simulated_cycles
+        self.contention_stall_cycles += other.contention_stall_cycles
 
     def since(self, snapshot: "RunnerStats") -> "RunnerStats":
         """The delta accumulated after ``snapshot`` was taken (via ``copy``)."""
@@ -143,10 +161,31 @@ class RunnerStats:
             setup_seconds=self.setup_seconds - snapshot.setup_seconds,
             memory_hits=self.memory_hits - snapshot.memory_hits,
             disk_hits=self.disk_hits - snapshot.disk_hits,
+            simulated_cycles=self.simulated_cycles - snapshot.simulated_cycles,
+            contention_stall_cycles=(
+                self.contention_stall_cycles - snapshot.contention_stall_cycles
+            ),
         )
 
     def copy(self) -> "RunnerStats":
         return replace(self)
+
+
+def _stall_cycles_total(memsys) -> float:
+    """Sum of every ``stall_cycles`` leaf in a ``memsys`` telemetry dict.
+
+    Local (rather than importing :mod:`repro.experiments.memsys_sweep`)
+    because that module imports this one.
+    """
+    if not memsys:
+        return 0.0
+    total = 0.0
+    for key, value in memsys.items():
+        if key == "stall_cycles":
+            total += value
+        elif isinstance(value, dict):
+            total += _stall_cycles_total(value)
+    return total
 
 
 class ExperimentRunner:
@@ -324,7 +363,11 @@ class ExperimentRunner:
             config or self.system_config,
             warmup_entries=setup.warmup,
         )
-        self._record_simulation(started, outcome.core.committed)
+        self._record_simulation(
+            started, outcome.core.committed,
+            cycles=outcome.core.cycles,
+            stall_cycles=_stall_cycles_total(outcome.memsys),
+        )
         self._baseline_cache[key] = outcome
         if self.disk_cache is not None:
             self.disk_cache.put(self._disk_key(key), strip_outcome(outcome))
@@ -354,7 +397,9 @@ class ExperimentRunner:
         )
         outcome = system.simulate(setup.timed, warmup_entries=setup.warmup)
         self._record_simulation(
-            started, outcome.main.committed + outcome.lookahead.committed
+            started, outcome.main.committed + outcome.lookahead.committed,
+            cycles=outcome.main.cycles + outcome.lookahead.cycles,
+            stall_cycles=_stall_cycles_total(outcome.memsys),
         )
         self._dla_cache[key] = outcome
         if self.disk_cache is not None:
@@ -410,7 +455,9 @@ class ExperimentRunner:
             version_distribution=dict(plan.version_distribution),
         )
         self._record_simulation(
-            started, outcome.main.committed + outcome.lookahead.committed
+            started, outcome.main.committed + outcome.lookahead.committed,
+            cycles=outcome.main.cycles + outcome.lookahead.cycles,
+            stall_cycles=_stall_cycles_total(outcome.memsys),
         )
         self._segmented_cache[key] = result
         if self.disk_cache is not None:
@@ -445,6 +492,7 @@ class ExperimentRunner:
         outcome = simulate()
         if isinstance(outcome, SimulationOutcome):
             committed = outcome.core.committed
+            cycles = outcome.core.cycles
             payload = strip_outcome(outcome)
         else:
             # DlaOutcome-shaped (two-thread comparison models) or anything
@@ -452,17 +500,29 @@ class ExperimentRunner:
             committed = getattr(outcome, "committed", None)
             if committed is None:
                 committed = outcome.main.committed + outcome.lookahead.committed
+            main = getattr(outcome, "main", None)
+            if main is not None:
+                cycles = main.cycles + outcome.lookahead.cycles
+            else:
+                cycles = getattr(outcome, "cycles", 0.0)
             payload = outcome
-        self._record_simulation(started, committed)
+        self._record_simulation(
+            started, committed, cycles=cycles,
+            stall_cycles=_stall_cycles_total(getattr(outcome, "memsys", None)),
+        )
         self._aux_cache[key] = outcome
         if self.disk_cache is not None:
             self.disk_cache.put(self._disk_key(key), payload)
         return outcome
 
-    def _record_simulation(self, started: float, committed: int) -> None:
+    def _record_simulation(self, started: float, committed: int,
+                           cycles: float = 0.0,
+                           stall_cycles: float = 0.0) -> None:
         self.stats.simulations += 1
         self.stats.simulated_instructions += int(committed)
         self.stats.simulation_seconds += time.perf_counter() - started
+        self.stats.simulated_cycles += float(cycles)
+        self.stats.contention_stall_cycles += float(stall_cycles)
 
     # ------------------------------------------------------------------
     # cache injection (used by the parallel runner's deterministic merge)
@@ -499,6 +559,20 @@ class ExperimentRunner:
 
     def has_segmented(self, key: str) -> bool:
         return key in self._segmented_cache
+
+    def cached_outcome(self, key: str):
+        """The in-memory cached outcome under ``key``, whatever its kind.
+
+        Campaign telemetry uses this to attach per-cell measures
+        (instructions, cycles, stall share) to ``cell.finished`` events
+        right after a cell executes; returns ``None`` on a miss.
+        """
+        for cache in (self._baseline_cache, self._dla_cache,
+                      self._segmented_cache, self._aux_cache):
+            outcome = cache.get(key)
+            if outcome is not None:
+                return outcome
+        return None
 
     # ------------------------------------------------------------------
     def no_prefetch_config(self) -> SystemConfig:

@@ -14,10 +14,15 @@ This module hardens both edges:
 * :func:`atomic_write_bytes` / :func:`atomic_write_text` flush and fsync the
   temp file *before* the rename (and best-effort fsync the directory after
   it), so a crash can never promote un-synced data to the final name;
+* :func:`append_durable` appends one fully-formed frame to a log file and
+  fsyncs before returning, so an append-only journal survives a crash with
+  at worst a torn *final* frame (readers must tolerate exactly that);
 * :func:`sweep_orphan_tmps` removes aged ``*.tmp.*`` files on store/cache
   open, so debris from a mid-write crash cannot accumulate or trip later
   reads.  The sweep is age-gated (default 10 minutes) so it can never race
-  a live writer's in-flight temp file.
+  a live writer's in-flight temp file.  :func:`sweep_aged_files` is the
+  generic form: any accumulating per-run debris (fault-injection fire
+  ledgers, stale worker journals) gets the same age-gated hygiene.
 
 Everything is best-effort on errors: durability hardening must never turn a
 read-only or full filesystem into a crash (the caches and stores already
@@ -78,14 +83,33 @@ def atomic_write_text(path: Path, text: str,
     atomic_write_bytes(path, text.encode("utf-8"), tmp=tmp)
 
 
-def sweep_orphan_tmps(directory: Path,
-                      max_age_seconds: float = ORPHAN_TMP_AGE) -> List[Path]:
-    """Remove aged ``*.tmp.*`` debris under ``directory``; returns removals.
+def append_durable(path: Path, data: bytes) -> None:
+    """Append ``data`` to ``path`` and fsync before returning.
 
-    Only files whose mtime is older than ``max_age_seconds`` are touched, so
-    a concurrent writer's in-flight temp file (age: milliseconds) is never
-    swept.  Errors (vanished files, permissions) are ignored — hygiene must
-    never break the caller.
+    The event-journal write primitive: each call appends one fully-formed
+    frame (a JSONL line) with ``O_APPEND``, so concurrent appenders never
+    interleave partial frames, and the fsync guarantees an acknowledged
+    frame survives a crash.  A crash *during* the append can leave at most
+    one torn frame at the file tail — journal readers skip it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def sweep_aged_files(directory: Path, pattern: str,
+                     max_age_seconds: float) -> List[Path]:
+    """Remove files matching ``pattern`` older than ``max_age_seconds``.
+
+    Only files whose mtime is older than the cutoff are touched, so live
+    writers' in-flight files are never raced.  Errors (vanished files,
+    permissions) are ignored — hygiene must never break the caller.
+    Returns the removed paths.
     """
     import time
 
@@ -95,15 +119,25 @@ def sweep_orphan_tmps(directory: Path,
         return removed
     cutoff = time.time() - max_age_seconds
     try:
-        candidates = list(directory.glob(ORPHAN_TMP_GLOB))
+        candidates = list(directory.glob(pattern))
     except OSError:
         return removed
     for path in candidates:
         try:
-            if path.stat().st_mtime >= cutoff:
+            if not path.is_file() or path.stat().st_mtime >= cutoff:
                 continue
             path.unlink()
             removed.append(path)
         except OSError:
             continue
     return removed
+
+
+def sweep_orphan_tmps(directory: Path,
+                      max_age_seconds: float = ORPHAN_TMP_AGE) -> List[Path]:
+    """Remove aged ``*.tmp.*`` debris under ``directory``; returns removals.
+
+    A specialisation of :func:`sweep_aged_files` for the atomic-write temp
+    naming scheme shared by the disk cache and the campaign store.
+    """
+    return sweep_aged_files(directory, ORPHAN_TMP_GLOB, max_age_seconds)

@@ -73,6 +73,20 @@ KNOWN_SITES = (SITE_CELL_SIMULATE, SITE_CACHE_WRITE, SITE_WORKER_KILL)
 KNOWN_KINDS = ("raise", "hang", "truncate", "kill")
 
 
+def default_ledger_dir() -> Path:
+    """The fire-ledger directory the environment resolves to right now.
+
+    Shared with the campaign store's open-path hygiene sweep, which removes
+    aged ledger markers (finished chaos runs) from the same location the
+    active plan would write to.
+    """
+    root = os.environ.get(LEDGER_ENV)
+    if root:
+        return Path(root)
+    cache = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return Path(cache) / "faults"
+
+
 class FaultPlanError(ValueError):
     """A fault-plan spec string/dict could not be parsed or validated."""
 
@@ -235,11 +249,7 @@ class FaultPlan:
     def ledger_dir(self) -> Path:
         if self._ledger_dir is not None:
             return self._ledger_dir
-        root = os.environ.get(LEDGER_ENV)
-        if root:
-            return Path(root)
-        cache = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-        return Path(cache) / "faults"
+        return default_ledger_dir()
 
     def _acquire_fire(self, spec: FaultSpec) -> bool:
         """Take one fire slot from ``spec``'s budget; False when exhausted.

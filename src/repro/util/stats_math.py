@@ -53,6 +53,57 @@ def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float
     return {key: value / base for key, value in values.items()}
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile (0..1) with linear interpolation.
+
+    Deterministic (pure sort + interpolation, no sampling) so campaign
+    telemetry roll-ups are byte-stable across runs over the same journal.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1] (got {fraction})")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile (interpolated on even-length input)."""
+    return percentile(values, 0.5)
+
+
+def median_abs_deviation(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median (robust spread measure)."""
+    mid = median(values)
+    return median([abs(value - mid) for value in values])
+
+
+def robust_zscores(values: Sequence[float]) -> list:
+    """Modified z-scores: ``0.6745 * (x - median) / MAD`` per value.
+
+    The classic robust-outlier statistic (Iglewicz–Hoaglin): immune to the
+    outliers themselves inflating the spread, which is exactly what a
+    fleet-anomaly detector needs.  When the MAD is zero (more than half the
+    values identical) every score is reported as 0.0 — the caller cannot
+    distinguish outliers robustly in that regime and should not flag any.
+    """
+    if not values:
+        raise ValueError("robust_zscores of empty sequence")
+    mid = median(values)
+    mad = median_abs_deviation(values)
+    if mad == 0.0:
+        return [0.0 for _ in values]
+    return [0.6745 * (value - mid) / mad for value in values]
+
+
 def value_range(values: Sequence[float]) -> Tuple[float, float]:
     """(min, max) of a non-empty sequence — the paper's I-beam whiskers."""
     if not values:

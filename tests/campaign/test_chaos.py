@@ -9,6 +9,7 @@ import threading
 import pytest
 
 from repro.campaign.health import RetryPolicy
+from repro.campaign.monitor import build_timeline
 from repro.campaign.render import render_campaign
 from repro.campaign.scheduler import CampaignScheduler
 from repro.campaign.spec import CampaignSpec, variants
@@ -128,3 +129,15 @@ def test_chaos_campaign_matches_fault_free_artifacts(tmp_path, monkeypatch):
     for name in ref_files:
         assert (ref_dir / name).read_bytes() == \
             (chaos_dir / name).read_bytes(), f"artifact {name} differs"
+
+    # The journals recorded the chaos the artifacts hide: both injected
+    # faults show up as retry events, the torn write as a quarantine, and
+    # the monitor flags the retry hotspots.  (That the artifact bytes above
+    # still match the reference proves journals never leak into renders.)
+    timeline = build_timeline(chaos_store)
+    counts = timeline["event_counts"]
+    assert counts.get("cell.retried", 0) >= 2     # raise + timed-out hang
+    assert counts.get("cell.failed", 0) >= 2
+    assert counts.get("cache.quarantine", 0) >= 1  # torn write, caught
+    kinds = {anomaly["kind"] for anomaly in timeline["anomalies"]}
+    assert "retry_hotspot" in kinds

@@ -262,3 +262,56 @@ def test_cli_status_exit_code_on_failed_cells(cache_dir, tmp_path,
     assert code == 1
     assert "2 FAILED" in captured.out
     assert "retries 6" in captured.out
+
+
+def test_degraded_campaign_renders_health_consistently(cache_dir, tmp_path):
+    """CSV, Markdown and JSON artifacts agree on the failure roster."""
+    import csv
+
+    from repro.campaign.render import render_campaign
+
+    spec = _spec()
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    CampaignScheduler(spec, store=store,
+                      runner=_runner(spec, _BrokenDlaRunner),
+                      bench_report=False, retry_policy=FAST_POLICY).run()
+
+    out = tmp_path / "artifacts"
+    written = render_campaign(spec.name, store=store, out_dir=str(out))
+    names = {path.name for path in written}
+    assert "health.csv" in names
+
+    payload = json.loads((out / spec.name / f"{spec.name}.json").read_text())
+    failed = payload["health"]["failed"]
+    assert payload["health"]["state"] == "degraded"
+    assert len(failed) == 2
+
+    with open(out / spec.name / "health.csv", newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(failed)
+    # Same cells, same error identity, in the same (deterministic) order.
+    assert [row["key"] for row in rows] == [e["key"] for e in failed]
+    assert all(row["error_type"] == "ValueError" for row in rows)
+    assert all(row["workload"] == "mcf" for row in rows)
+
+    markdown = (out / spec.name / f"{spec.name}.md").read_text()
+    assert "## health: DEGRADED" in markdown
+    for entry in failed:
+        assert entry["key"] in markdown
+        assert f"`{entry['workload']}/{entry['variant']}`" in markdown
+
+
+def test_healthy_campaign_renders_no_health_artifacts(cache_dir, tmp_path):
+    from repro.campaign.render import render_campaign
+
+    spec = _spec(workloads=("libquantum",))
+    store = CampaignStore(spec.name, tmp_path / "campaigns")
+    CampaignScheduler(spec, store=store, runner=_runner(spec),
+                      bench_report=False).run()
+
+    out = tmp_path / "artifacts"
+    written = render_campaign(spec.name, store=store, out_dir=str(out))
+    assert "health.csv" not in {path.name for path in written}
+    payload = json.loads((out / spec.name / f"{spec.name}.json").read_text())
+    assert "health" not in payload
+    assert "## health" not in (out / spec.name / f"{spec.name}.md").read_text()

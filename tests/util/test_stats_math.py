@@ -9,7 +9,11 @@ from repro.util.stats_math import (
     arithmetic_mean,
     geometric_mean,
     harmonic_mean,
+    median,
+    median_abs_deviation,
     normalize,
+    percentile,
+    robust_zscores,
     speedup,
     value_range,
 )
@@ -65,6 +69,46 @@ def test_speedup():
         speedup(0.0, 10.0)
     with pytest.raises(ValueError):
         speedup(10.0, 0.0)
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == pytest.approx(1.0)
+    assert percentile(values, 1.0) == pytest.approx(4.0)
+    assert percentile(values, 0.5) == pytest.approx(2.5)   # linear midpoint
+    assert percentile([7.0], 0.9) == pytest.approx(7.0)
+    # Order-independent: percentile sorts internally.
+    assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == pytest.approx(2.5)
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+
+
+def test_median_and_mad():
+    assert median([5.0, 1.0, 3.0]) == pytest.approx(3.0)
+    assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+    # values 1..5 around median 3: abs deviations [2,1,0,1,2] -> MAD 1
+    assert median_abs_deviation([1.0, 2.0, 3.0, 4.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_robust_zscores_flags_the_outlier():
+    values = [1.0, 1.1, 0.9, 1.0, 10.0]
+    scores = robust_zscores(values)
+    assert scores[-1] > 3.5                       # the outlier stands out
+    assert all(abs(s) < 3.5 for s in scores[:-1])  # the bulk does not
+
+
+def test_robust_zscores_zero_mad_reports_no_outliers():
+    # More than half identical -> MAD 0 -> no robust discrimination.
+    assert robust_zscores([2.0, 2.0, 2.0, 9.0]) == [0.0, 0.0, 0.0, 0.0]
+    with pytest.raises(ValueError):
+        robust_zscores([])
 
 
 @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=50))
