@@ -11,6 +11,8 @@ Subcommands::
     repro render NAME... [--out DIR]     # stored results -> CSV/MD/JSON
     repro status [NAME...] [--json]      # cell-level progress per campaign
     repro monitor NAME [--summary|--json|--follow]   # timeline + anomalies
+    repro dispatch NAME --backend B --hosts N [--dry-run]  # fleet execution
+    repro sync push|pull --shared TARGET [--campaign NAME] # cache transport
     repro clean NAME... | --all          # drop campaign bookkeeping
 
 ``run`` is resumable by construction: every simulation persists in the
@@ -28,6 +30,16 @@ final artifacts once every cell is in the cache — bit-identical to a
 single-host run.  ``status --json`` gives orchestrators machine-readable
 done/leased/pending counts.
 
+``dispatch`` runs one campaign across a fleet: it renders one job script
+per host (``--dry-run`` to inspect without submitting), submits them to an
+execution backend (``local``, ``process_pool``, or ``slurm``), polls the
+shared store until every cell lands, then merges and renders exactly once
+— byte-identical to a single-host run.  ``sync`` is the underlying cache
+transport: batched, idempotent, checksum-verified push/pull of cache
+entries and campaign lease/failure/journal state between a local
+``.repro_cache/`` and a shared root (a directory or an rsync-style
+remote).  See :mod:`repro.campaign.fabric`.
+
 ``monitor`` reads the per-campaign event journals
 (:mod:`repro.campaign.telemetry`) and renders the merged timeline —
 per-worker roll-ups, cell-latency percentiles, a throughput sparkline and
@@ -44,6 +56,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.campaign.fabric.backends import BACKEND_NAMES, BackendError
+from repro.campaign.fabric.dispatch import (
+    CLAIM_MODES, DispatchError, Dispatcher,
+)
+from repro.campaign.fabric.sync import (
+    DEFAULT_BATCH_SIZE, CacheSync, SyncError,
+)
 from repro.campaign.health import (
     DEFAULT_BACKOFF_BASE, DEFAULT_MAX_ATTEMPTS, RetryPolicy,
 )
@@ -194,6 +213,90 @@ def _build_parser() -> argparse.ArgumentParser:
     p_monitor.add_argument("--out", default=None, metavar="FILE",
                            help="write the JSON timeline to FILE "
                                 "(with --json)")
+
+    p_dispatch = sub.add_parser(
+        "dispatch",
+        help="run one campaign across a fleet of hosts: render job "
+             "scripts, submit to a backend, poll to convergence, merge",
+    )
+    p_dispatch.add_argument("campaign", metavar="NAME")
+    p_dispatch.add_argument("--backend", default="process_pool",
+                            choices=BACKEND_NAMES,
+                            help="execution backend (default: process_pool)")
+    p_dispatch.add_argument("--hosts", type=_positive_int, default=2,
+                            metavar="N",
+                            help="fleet size — one job script per host "
+                                 "(default: 2; hosts > cells is fine, the "
+                                 "surplus hosts converge on empty shards)")
+    p_dispatch.add_argument("--claim", default="shard", choices=CLAIM_MODES,
+                            help="cell-claiming mode: 'shard' = isolated "
+                                 "per-host cache roots synced through the "
+                                 "shared root, 'worker' = lease-driven "
+                                 "claiming straight on the shared root "
+                                 "(default: shard)")
+    dispatch_mode = p_dispatch.add_mutually_exclusive_group()
+    dispatch_mode.add_argument("--quick", action="store_true",
+                               help="quick-mode matrix (default)")
+    dispatch_mode.add_argument("--full", action="store_true",
+                               help="full-mode matrix")
+    p_dispatch.add_argument("--spec", metavar="FILE",
+                            help="register campaign spec(s) from a JSON "
+                                 "file first; forwarded to every host job")
+    p_dispatch.add_argument("--shared", default=None, metavar="DIR",
+                            help="shared cache root the fleet syncs "
+                                 "through (default: $REPRO_CACHE_DIR or "
+                                 ".repro_cache)")
+    p_dispatch.add_argument("--dry-run", action="store_true",
+                            help="render the job scripts and stop — "
+                                 "nothing is submitted")
+    p_dispatch.add_argument("--processes", type=_positive_int, default=None,
+                            help="worker processes per host job "
+                                 "(default: 1)")
+    p_dispatch.add_argument("--poll", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="fleet status poll interval (default: 1)")
+    p_dispatch.add_argument("--ttl", type=float, default=DEFAULT_LEASE_TTL,
+                            metavar="SECONDS",
+                            help="lease TTL for worker-claim hosts "
+                                 f"(default: {DEFAULT_LEASE_TTL:g})")
+    p_dispatch.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="abort the dispatch if the fleet has not "
+                                 "converged after this long (default: "
+                                 "wait forever)")
+    p_dispatch.add_argument("--out", default=None, metavar="DIR",
+                            help="artifacts directory (default: artifacts/)")
+    p_dispatch.add_argument("--no-render", action="store_true",
+                            help="merge the stored result but skip "
+                                 "artifacts")
+    p_dispatch.add_argument("--json", action="store_true", dest="as_json",
+                            help="print the dispatch plan as JSON "
+                                 "(machine-readable; pairs with --dry-run)")
+
+    p_sync = sub.add_parser(
+        "sync",
+        help="push/pull cache cells + campaign state between a local "
+             "cache root and a shared target (batched, idempotent, "
+             "checksum-verified)",
+    )
+    p_sync.add_argument("direction", choices=("push", "pull"),
+                        help="push = local -> shared, pull = shared -> local")
+    p_sync.add_argument("--shared", required=True, metavar="TARGET",
+                        help="shared root: a directory, or an rsync-style "
+                             "remote (host:/path)")
+    p_sync.add_argument("--local", default=None, metavar="DIR",
+                        help="local cache root (default: $REPRO_CACHE_DIR "
+                             "or .repro_cache)")
+    p_sync.add_argument("--campaign", default=None, metavar="NAME",
+                        help="restrict cell entries to this campaign's "
+                             "manifest and sync its lease/failure/journal "
+                             "state alongside")
+    p_sync.add_argument("--batch", type=_positive_int,
+                        default=DEFAULT_BATCH_SIZE, metavar="N",
+                        help="cell entries per transfer batch "
+                             f"(default: {DEFAULT_BATCH_SIZE})")
+    p_sync.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable transfer report")
 
     p_clean = sub.add_parser("clean", help="drop campaign bookkeeping "
                                            "(simulation cache is untouched)")
@@ -429,6 +532,45 @@ def _cmd_monitor(args) -> int:
     return 1 if timeline.get("anomalies") else 0
 
 
+def _cmd_dispatch(args) -> int:
+    if args.shared:
+        # The shared root is env-derived everywhere (dispatcher, store,
+        # status, merge), so --shared is exactly an env override.
+        from repro.experiments.cache import CACHE_DIR_ENV
+        os.environ[CACHE_DIR_ENV] = str(Path(args.shared).resolve())
+    if args.spec:
+        _load_spec_file(args.spec)
+    spec = get_campaign(args.campaign)
+    if spec is None:
+        print(f"unknown campaign {args.campaign!r} (try `repro list`)",
+              file=sys.stderr)
+        return 2
+    dispatcher = Dispatcher(
+        spec, backend=args.backend, hosts=args.hosts, claim=args.claim,
+        quick=not args.full, spec_file=args.spec, processes=args.processes,
+        poll_seconds=args.poll, ttl=args.ttl, timeout=args.timeout,
+    )
+    plan = dispatcher.dispatch(dry_run=args.dry_run,
+                               no_render=args.no_render, out_dir=args.out)
+    if args.as_json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_sync(args) -> int:
+    sync = CacheSync(local_root=args.local, target=args.shared,
+                     batch_size=args.batch)
+    if args.direction == "push":
+        report = sync.push(campaign=args.campaign)
+    else:
+        report = sync.pull(campaign=args.campaign)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0
+
+
 def _cmd_clean(args) -> int:
     names = list(args.campaigns)
     if args.clean_all:
@@ -458,6 +600,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_status(args)
         if args.command == "monitor":
             return _cmd_monitor(args)
+        if args.command == "dispatch":
+            return _cmd_dispatch(args)
+        if args.command == "sync":
+            return _cmd_sync(args)
         if args.command == "clean":
             return _cmd_clean(args)
     except (SpecError, ShardError) as error:
@@ -466,6 +612,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ShardedExecutionError as error:
         print(str(error), file=sys.stderr)
         return 2
+    except CampaignIncomplete as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    except (BackendError, DispatchError, SyncError) as error:
+        print(f"dispatch error: {error}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         print("\ninterrupted — rerun to resume (finished cells are cached)",
               file=sys.stderr)

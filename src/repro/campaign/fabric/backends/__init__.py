@@ -1,0 +1,40 @@
+"""Execution backends for ``repro dispatch`` (see :mod:`.base`)."""
+
+from repro.campaign.fabric.backends.base import (  # noqa: F401
+    Backend, BackendError,
+)
+from repro.campaign.fabric.backends.local import LocalBackend
+from repro.campaign.fabric.backends.process_pool import ProcessPoolBackend
+from repro.campaign.fabric.backends.slurm import SlurmBackend
+
+_BACKENDS = {
+    LocalBackend.name: LocalBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    SlurmBackend.name: SlurmBackend,
+}
+
+#: ``--backend`` choices, in help-text order.
+BACKEND_NAMES = tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> Backend:
+    """A fresh backend instance by registry name."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r} (choose from: "
+            f"{', '.join(BACKEND_NAMES)})"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "BackendError",
+    "LocalBackend",
+    "ProcessPoolBackend",
+    "SlurmBackend",
+    "get_backend",
+]

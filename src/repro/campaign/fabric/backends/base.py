@@ -1,0 +1,40 @@
+"""Execution-backend protocol for the fleet dispatcher.
+
+A backend answers exactly two questions about a rendered job script:
+*run it* (:meth:`Backend.submit`) and *is it done yet*
+(:meth:`Backend.poll`).  Everything else — what the script does, which
+cache root it talks to, how results merge — is decided at render time
+(:mod:`repro.campaign.fabric.templates`), so backends stay small enough
+to be obviously correct and trivially mockable in tests.
+
+Backends duck-type the job argument (anything with ``script_path``,
+``log_path``, ``sentinel_path`` and writable ``job_id`` /
+``returncode`` attributes works) so this package never imports the
+dispatcher — no import cycle, and tests can poll plain stand-in objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class BackendError(RuntimeError):
+    """A backend could not submit or observe a job."""
+
+
+class Backend:
+    """Submit rendered job scripts and observe their completion."""
+
+    #: Registry name (``--backend`` spelling).
+    name = "base"
+
+    def submit(self, job) -> None:
+        """Start ``job.script_path``; record identity on the job object."""
+        raise NotImplementedError
+
+    def poll(self, job) -> Optional[int]:
+        """The job's exit code once terminal, else ``None`` (running)."""
+        raise NotImplementedError
+
+
+__all__ = ["Backend", "BackendError"]

@@ -1,0 +1,38 @@
+"""Local backend: run each host job to completion, one after another.
+
+The simplest possible executor — ``submit`` blocks until the script
+exits — which makes it the reference backend for debugging a dispatch
+plan: no concurrency, no races, the host logs interleave with nothing.
+Fleet semantics still hold (each job sees its own cache root and syncs
+through the shared one), just serialised.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.fabric.backends.base import Backend, BackendError
+
+
+class LocalBackend(Backend):
+    name = "local"
+
+    def submit(self, job) -> None:
+        script = Path(job.script_path)
+        if not script.is_file():
+            raise BackendError(f"job script missing: {script}")
+        with open(job.log_path, "wb") as log:
+            result = subprocess.run(
+                ["bash", str(script)], stdout=log,
+                stderr=subprocess.STDOUT,
+            )
+        job.job_id = f"local-{script.stem}"
+        job.returncode = result.returncode
+
+    def poll(self, job) -> Optional[int]:
+        return job.returncode
+
+
+__all__ = ["LocalBackend"]

@@ -1,0 +1,64 @@
+"""Process-pool backend: every host job is a concurrent subprocess.
+
+The single-machine stand-in for a real fleet — N subprocesses, each with
+its own cache root (or a shared one, in worker-claim mode), genuinely
+racing through the same lease/sync protocol real hosts would.  This is
+what CI's ``dispatch`` job uses to rehearse a 2-host fleet.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.fabric.backends.base import Backend, BackendError
+
+
+class ProcessPoolBackend(Backend):
+    name = "process_pool"
+
+    def __init__(self) -> None:
+        self._procs = {}
+
+    def submit(self, job) -> None:
+        script = Path(job.script_path)
+        if not script.is_file():
+            raise BackendError(f"job script missing: {script}")
+        log = open(job.log_path, "wb")
+        proc = subprocess.Popen(
+            ["bash", str(script)], stdout=log, stderr=subprocess.STDOUT,
+        )
+        job.job_id = f"pool-{proc.pid}"
+        self._procs[job.job_id] = (proc, log)
+
+    def poll(self, job) -> Optional[int]:
+        if job.returncode is not None:
+            return job.returncode
+        entry = self._procs.get(job.job_id)
+        if entry is None:
+            raise BackendError(f"unknown job {job.job_id!r}")
+        proc, log = entry
+        code = proc.poll()
+        if code is None:
+            return None
+        log.close()
+        job.returncode = code
+        del self._procs[job.job_id]
+        return code
+
+    def terminate(self) -> None:
+        """Best-effort kill of every still-running job (error cleanup)."""
+        for proc, log in list(self._procs.values()):
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+            try:
+                log.close()
+            except OSError:
+                pass
+        self._procs.clear()
+
+
+__all__ = ["ProcessPoolBackend"]

@@ -1,0 +1,68 @@
+"""SLURM backend: submit rendered ``sbatch`` scripts, observe via sentinel.
+
+Submission is one ``sbatch --parsable`` call per host job (the rendered
+script already carries its ``#SBATCH`` directives).  Completion is
+observed without ever talking to ``squeue``/``sacct``: the script's EXIT
+trap writes its exit code to a sentinel file on the shared filesystem,
+so polling is a portable ``stat`` — robust to accounting lag, controller
+restarts and the myriad site-specific ways SLURM reports state.
+
+``repro dispatch --backend slurm --dry-run`` renders the sbatch scripts
+without submitting anything — the supported way to inspect (or hand-edit
+and hand-submit) what would run on the cluster.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.fabric.backends.base import Backend, BackendError
+
+
+class SlurmBackend(Backend):
+    name = "slurm"
+
+    def __init__(self, sbatch: str = "sbatch") -> None:
+        self.sbatch = sbatch
+
+    def submit(self, job) -> None:
+        script = Path(job.script_path)
+        if not script.is_file():
+            raise BackendError(f"job script missing: {script}")
+        # Stale sentinel from an earlier submission of the same plan would
+        # read as instant completion — clear it first.
+        sentinel = Path(job.sentinel_path)
+        try:
+            sentinel.unlink()
+        except OSError:
+            pass
+        result = subprocess.run(
+            [self.sbatch, "--parsable", str(script)],
+            capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            raise BackendError(
+                f"sbatch failed ({result.returncode}): "
+                f"{result.stderr.strip() or result.stdout.strip()}"
+            )
+        # --parsable prints `jobid[;cluster]` on one line.
+        job.job_id = result.stdout.strip().split(";")[0]
+
+    def poll(self, job) -> Optional[int]:
+        if job.returncode is not None:
+            return job.returncode
+        sentinel = Path(job.sentinel_path)
+        if not sentinel.exists():
+            return None
+        try:
+            text = sentinel.read_text().strip()
+            code = int(text) if text else 1
+        except (OSError, ValueError):
+            code = 1
+        job.returncode = code
+        return code
+
+
+__all__ = ["SlurmBackend"]

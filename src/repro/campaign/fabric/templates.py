@@ -1,0 +1,126 @@
+"""Job-script templates for the fleet dispatcher.
+
+Every backend — local subprocess, process pool, SLURM — executes the *same*
+rendered bash script, so what a host does is decided entirely at render
+time and is inspectable with ``--dry-run`` before anything runs.  The
+script is self-contained: it exports its own environment (cache root,
+``PYTHONPATH``, pinned smoke figure, journal TTL), so submitting it under
+a scheduler that strips the environment changes nothing.
+
+Two claim modes, two bodies:
+
+``shard``
+    The host owns a static slice of the cell matrix and its *own* cache
+    root: pull warm cells from the shared root, run the shard, push
+    results back.  The push runs even when the shard run fails — every
+    cell that did finish is in the local cache and belongs to the fleet.
+
+``worker``
+    The host points straight at the shared root and claims cells through
+    store leases (``repro run NAME --worker``); no sync steps needed.
+
+Rendering uses :class:`string.Template` (never ``str.format``): bash is
+full of ``${...}`` and ``$?``, and Template's ``$$`` escape keeps the
+boundary between render-time substitution and run-time shell expansion
+explicit.
+"""
+
+from __future__ import annotations
+
+from string import Template
+from typing import Dict, List, Optional
+
+#: Written by the SLURM epilogue's EXIT trap; its content is the job's
+#: exit code.  Polling for this file is how the dispatcher observes a
+#: SLURM job finishing without talking to ``squeue``.
+SENTINEL_SUFFIX = ".exit"
+
+_SCRIPT = Template("""\
+#!/bin/bash
+# repro fabric job: campaign $campaign, host $host_index of $host_count
+# ($claim claim, $mode mode) — rendered by `repro dispatch`; do not edit.
+${directives}set -uo pipefail
+${sentinel_trap}$env_exports
+$body""")
+
+_SHARD_BODY = Template("""\
+"$python" -m repro.campaign.cli sync pull --shared "$shared" \\
+    --local "$cache_root" --campaign "$campaign"
+"$python" -m repro.campaign.cli run "$campaign"$mode_flag$spec_flag \\
+    --shard $shard --processes $processes
+status=$$?
+"$python" -m repro.campaign.cli sync push --shared "$shared" \\
+    --local "$cache_root" --campaign "$campaign"
+exit $$status
+""")
+
+_WORKER_BODY = Template("""\
+"$python" -m repro.campaign.cli run "$campaign"$mode_flag$spec_flag \\
+    --worker --no-render --owner "$owner" --ttl $ttl --poll $poll \\
+    --processes $processes
+""")
+
+#: ``#SBATCH`` header rendered for the slurm backend (the other backends
+#: render no directives — bash ignores them anyway, but keeping them out
+#: makes the dry-run scripts honest about what will be submitted).
+_SBATCH_DIRECTIVES = Template("""\
+#SBATCH --job-name=$job_name
+#SBATCH --output=$log_path
+#SBATCH --time=$time_limit
+#SBATCH --ntasks=1
+#SBATCH --cpus-per-task=$cpus
+""")
+
+_SENTINEL_TRAP = Template("""\
+trap 'echo -n $$? > "$sentinel"' EXIT
+""")
+
+
+def _export_lines(env: Dict[str, str]) -> str:
+    lines: List[str] = []
+    for name in sorted(env):
+        value = str(env[name]).replace('"', '\\"')
+        lines.append(f'export {name}="{value}"')
+    return "\n".join(lines)
+
+
+def render_job_script(*, campaign: str, claim: str, host_index: int,
+                      host_count: int, python: str, shared: str,
+                      cache_root: str, env: Dict[str, str], quick: bool,
+                      spec_file: Optional[str] = None, processes: int = 1,
+                      owner: Optional[str] = None, ttl: float = 60.0,
+                      poll: float = 2.0, sbatch: bool = False,
+                      job_name: str = "repro", log_path: str = "job.log",
+                      time_limit: str = "01:00:00", cpus: int = 1,
+                      sentinel: Optional[str] = None) -> str:
+    """One host's complete job script (see the module docstring)."""
+    mode_flag = " --quick" if quick else " --full"
+    spec_flag = f' --spec "{spec_file}"' if spec_file else ""
+    common = dict(python=python, shared=shared, cache_root=cache_root,
+                  campaign=campaign, mode_flag=mode_flag,
+                  spec_flag=spec_flag, processes=processes)
+    if claim == "shard":
+        body = _SHARD_BODY.substitute(
+            shard=f"{host_index}/{host_count}", **common)
+    elif claim == "worker":
+        body = _WORKER_BODY.substitute(
+            owner=owner or f"fabric-host-{host_index}",
+            ttl=f"{ttl:g}", poll=f"{poll:g}", **common)
+    else:
+        raise ValueError(f"unknown claim mode {claim!r}")
+    directives = ""
+    if sbatch:
+        directives = _SBATCH_DIRECTIVES.substitute(
+            job_name=job_name, log_path=log_path,
+            time_limit=time_limit, cpus=cpus)
+    sentinel_trap = ""
+    if sentinel is not None:
+        sentinel_trap = _SENTINEL_TRAP.substitute(sentinel=sentinel)
+    return _SCRIPT.substitute(
+        campaign=campaign, claim=claim, mode="quick" if quick else "full",
+        host_index=host_index, host_count=host_count,
+        directives=directives, sentinel_trap=sentinel_trap,
+        env_exports=_export_lines(env), body=body)
+
+
+__all__ = ["SENTINEL_SUFFIX", "render_job_script"]

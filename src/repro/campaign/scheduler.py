@@ -247,6 +247,20 @@ class CampaignScheduler:
         members = partition(keyed.keys(), index, count)
         return [(key, keyed[key]) for key in members]
 
+    def prepare(self) -> Dict[str, object]:
+        """Open the manifest and seed the full planned-cell set, running
+        nothing.
+
+        The fabric dispatcher calls this in the shared root before any host
+        job starts, so ``repro status``/``repro monitor`` report meaningful
+        done/leased/pending counts while the fleet is still warming up, and
+        so ``repro sync --campaign`` can resolve the campaign's cell keys
+        from the shared manifest alone.
+        """
+        manifest = self.store.begin(self.spec, self.mode)
+        self._seed_cells(manifest)
+        return manifest
+
     # ------------------------------------------------------------------
     # single-host execution (simulate everything, then assemble)
     # ------------------------------------------------------------------
@@ -260,8 +274,7 @@ class CampaignScheduler:
         ``health`` section in the assembled result instead of aborting the
         whole campaign.
         """
-        manifest = self.store.begin(self.spec, self.mode)
-        self._seed_cells(manifest)
+        manifest = self.prepare()
         requests = self.cells()
         started = time.perf_counter()
         stats_before = self.runner.stats.copy()
@@ -395,8 +408,7 @@ class CampaignScheduler:
         (``repro merge``).
         """
         self._require_disk_cache(f"--shard {index}/{count}")
-        manifest = self.store.begin(self.spec, self.mode)
-        self._seed_cells(manifest)
+        manifest = self.prepare()
         keyed = self.shard_cells(index, count)
         requests = [request for _key, request in keyed]
         total = len(self.keyed_cells())
@@ -475,8 +487,7 @@ class CampaignScheduler:
         self._require_disk_cache("--worker")
         owner = owner or default_owner()
         policy = self.retry_policy
-        manifest = self.store.begin(self.spec, self.mode)
-        self._seed_cells(manifest)
+        manifest = self.prepare()
         keyed = self.keyed_cells()
         requests_by_key = dict(keyed)
         all_requests = [request for _key, request in keyed]

@@ -201,7 +201,10 @@ class CampaignStore:
         journals of long-dead owners (or *all* journals when the manifest
         was just reset — they describe a campaign shape that no longer
         exists), and fault-injection fire-ledger markers left behind by
-        finished chaos runs.
+        finished chaos runs.  The journal sweep age defaults to seven days
+        and is tuned with ``REPRO_JOURNAL_TTL_DAYS`` (see
+        :func:`repro.campaign.telemetry.stale_journal_age`) so long-lived
+        fleet campaigns keep their worker journals for the whole run.
         """
         from repro.campaign.telemetry import sweep_stale_journals
         from repro.util.durability import sweep_aged_files

@@ -59,9 +59,34 @@ from repro.util.durability import append_durable
 #: Directory (under the campaign store) holding one journal per owner.
 EVENTS_DIR = "events"
 
-#: Worker journals older than this are stale debris from long-dead runs and
-#: are swept on store open (the aged-orphan sweep's telemetry sibling).
+#: Default sweep age for worker journals: older ones are stale debris from
+#: long-dead runs and are swept on store open (the aged-orphan sweep's
+#: telemetry sibling).  Long-lived fleet campaigns override it with
+#: :data:`JOURNAL_TTL_ENV` so a multi-week dispatch does not lose its
+#: workers' journals mid-run.
 STALE_JOURNAL_AGE = 7 * 24 * 3600.0
+
+#: Environment override for the stale-journal sweep age, in (fractional)
+#: days.  Non-numeric or non-positive values fall back to the default —
+#: hygiene must never turn a typo into an instant journal wipe.
+JOURNAL_TTL_ENV = "REPRO_JOURNAL_TTL_DAYS"
+
+
+def stale_journal_age() -> float:
+    """The effective stale-journal sweep age in seconds.
+
+    ``REPRO_JOURNAL_TTL_DAYS`` (fractional days, must be > 0) overrides the
+    :data:`STALE_JOURNAL_AGE` default; invalid values are ignored.
+    """
+    text = os.environ.get(JOURNAL_TTL_ENV)
+    if text:
+        try:
+            days = float(text)
+        except ValueError:
+            days = 0.0
+        if days > 0.0:
+            return days * 24 * 3600.0
+    return STALE_JOURNAL_AGE
 
 _OWNER_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -227,25 +252,31 @@ def outcome_measures(outcome: object) -> Dict[str, float]:
 
 
 def sweep_stale_journals(events_dir: Path,
-                         max_age_seconds: float = STALE_JOURNAL_AGE,
+                         max_age_seconds: Optional[float] = None,
                          clear: bool = False) -> List[Path]:
     """Hygiene for the events directory (called from the store open path).
 
     ``clear`` drops *every* journal — used when the manifest is reset
     because the spec fingerprint or mode changed, making old journals
     describe a campaign shape that no longer exists.  Otherwise only
-    journals older than ``max_age_seconds`` (long-dead runs) are swept.
+    journals older than ``max_age_seconds`` (long-dead runs) are swept;
+    the ``None`` default resolves through :func:`stale_journal_age`, so
+    ``REPRO_JOURNAL_TTL_DAYS`` tunes every sweep site at once.
     """
     from repro.util.durability import sweep_aged_files
 
     if clear:
         return sweep_aged_files(events_dir, "*.jsonl", -1.0)
+    if max_age_seconds is None:
+        max_age_seconds = stale_journal_age()
     return sweep_aged_files(events_dir, "*.jsonl", max_age_seconds)
 
 
 __all__ = [
     "EVENTS_DIR",
+    "JOURNAL_TTL_ENV",
     "STALE_JOURNAL_AGE",
+    "stale_journal_age",
     "EventJournal",
     "event_counts",
     "journal_filename",

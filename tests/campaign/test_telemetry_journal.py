@@ -139,6 +139,33 @@ def test_sweep_stale_journals_is_age_gated(tmp_path):
     assert load_events(events_dir) == []
 
 
+def test_journal_ttl_env_tunes_the_sweep_age(tmp_path, monkeypatch):
+    from repro.campaign.telemetry import (
+        JOURNAL_TTL_ENV, STALE_JOURNAL_AGE, stale_journal_age,
+    )
+
+    monkeypatch.delenv(JOURNAL_TTL_ENV, raising=False)
+    assert stale_journal_age() == STALE_JOURNAL_AGE
+    monkeypatch.setenv(JOURNAL_TTL_ENV, "0.5")
+    assert stale_journal_age() == 0.5 * 24 * 3600
+    # Typos and non-positive values fall back — hygiene must never turn a
+    # bad env var into an instant journal wipe.
+    for bad in ("nonsense", "0", "-3", ""):
+        monkeypatch.setenv(JOURNAL_TTL_ENV, bad)
+        assert stale_journal_age() == STALE_JOURNAL_AGE
+
+    # End to end: a 2-hour-old journal survives the default sweep but is
+    # swept once the TTL is tightened below its age.
+    events_dir = tmp_path / "events"
+    journal = EventJournal(events_dir, "fleet-host")
+    journal.emit("worker.started")
+    _age(journal.path, 2 * 3600)
+    monkeypatch.delenv(JOURNAL_TTL_ENV, raising=False)
+    assert sweep_stale_journals(events_dir) == []
+    monkeypatch.setenv(JOURNAL_TTL_ENV, str(1 / 24))   # one hour
+    assert sweep_stale_journals(events_dir) == [journal.path]
+
+
 def test_store_begin_sweeps_stale_journals_and_fault_ledger(cache_dir):
     spec = _smoke_spec()
     store = CampaignStore(spec.name)
