@@ -48,6 +48,12 @@ def _full_mode_requested() -> bool:
 def _shared_runner(warm: bool) -> ParallelExperimentRunner:
     global _RUNNER
     if _RUNNER is None:
+        # Build/load the compiled tick kernel before any timed window opens:
+        # on a cold cache the one-off C compile would otherwise land inside
+        # the first simulation's timing and skew the recorded trajectory.
+        from repro.core.compile import kernel_available
+
+        kernel_available()
         full = _full_mode_requested()
         _RUNNER = ParallelExperimentRunner(quick=not full)
         # Pre-compute the standard configuration matrix in parallel when it

@@ -12,10 +12,17 @@ paying for the whole benchmark suite.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [workload] [memory_workload]
+
+``--require-compiled`` additionally asserts that the compiled tick pipeline
+actually carried the simulations (``compiled_ticks > 0`` in the recorded
+stats) and exits with status 2 otherwise — in CI this turns a silent
+fallback to the reference interpreter (no C compiler on the runner, a
+kernel build break) into a red job instead of a quietly slower number.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 from pathlib import Path
@@ -33,6 +40,11 @@ from repro.experiments.runner import ExperimentRunner       # noqa: E402
 
 
 def main(workload: str = "mcf", memory_workload: str = "mg") -> dict:
+    # Build/load the compiled tick kernel up front so a cold artifact
+    # cache's one-off C compile never lands inside a timed window.
+    from repro.core.compile import kernel_available
+
+    kernel_available()
     started = time.perf_counter()
     # Fresh in-memory caches and no disk cache: measure real simulation speed.
     runner = ExperimentRunner(quick=True,
@@ -71,10 +83,28 @@ def main(workload: str = "mcf", memory_workload: str = "mg") -> dict:
           f"{payload['simulated_instructions']} instructions in {wall:.2f}s "
           f"({payload['instructions_per_second']:.0f} inst/s overall, "
           f"{payload['contended_instructions_per_second']:.0f} inst/s "
-          f"contended) -> {path}")
+          f"contended, {payload['compiled_ticks']} compiled ticks) -> {path}")
     return payload
 
 
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workload", nargs="?", default="mcf")
+    parser.add_argument("memory_workload", nargs="?", default="mg")
+    parser.add_argument(
+        "--require-compiled", action="store_true",
+        help="exit 2 unless the compiled tick pipeline carried the runs "
+             "(compiled_ticks > 0); guards CI against a silent fallback "
+             "to the reference interpreter",
+    )
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "mcf",
-         sys.argv[2] if len(sys.argv) > 2 else "mg")
+    cli_args = _parse_args()
+    result = main(cli_args.workload, cli_args.memory_workload)
+    if cli_args.require_compiled and result.get("compiled_ticks", 0) <= 0:
+        print("perf_smoke: compiled tick pipeline did not engage "
+              "(compiled_ticks == 0) but --require-compiled was set",
+              file=sys.stderr)
+        sys.exit(2)

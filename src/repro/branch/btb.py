@@ -2,14 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
-
-
-@dataclass
-class _BtbEntry:
-    target: int
-    last_use: int = 0
+from array import array
+from typing import Optional
 
 
 class BranchTargetBuffer:
@@ -19,6 +13,12 @@ class BranchTargetBuffer:
     footnote queue; the main core uses those in place of its own BTB lookup
     when available (Sec. III-A), which is modelled by the DLA front-end, not
     here.  This class is the conventional structure both cores contain.
+
+    Each set packs its valid ways into flat arrays in insertion order —
+    the iteration-order semantics the original dict-of-entries carried
+    (update of an existing way keeps its position; the eviction victim is
+    the *first* way with the minimal ``last_use``) — so the compiled
+    kernel can borrow the state zero-copy and stay bit-identical.
     """
 
     def __init__(self, entries: int = 4096, associativity: int = 4) -> None:
@@ -27,7 +27,10 @@ class BranchTargetBuffer:
         self.entries = entries
         self.associativity = associativity
         self.num_sets = entries // associativity
-        self._sets: list[Dict[int, _BtbEntry]] = [dict() for _ in range(self.num_sets)]
+        self._tag = array("q", bytes(8 * entries))
+        self._target = array("q", bytes(8 * entries))
+        self._last_use = array("q", bytes(8 * entries))
+        self._count = array("q", bytes(8 * self.num_sets))
         self.hits = 0
         self.misses = 0
 
@@ -37,26 +40,53 @@ class BranchTargetBuffer:
     def lookup(self, pc: int, now: int = 0) -> Optional[int]:
         """Predicted target for a control instruction at ``pc`` (or ``None``)."""
         index, tag = self._set_and_tag(pc)
-        entry = self._sets[index].get(tag)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        entry.last_use = now
-        return entry.target
+        base = index * self.associativity
+        tags = self._tag
+        for k in range(base, base + self._count[index]):
+            if tags[k] == tag:
+                self.hits += 1
+                self._last_use[k] = now
+                return self._target[k]
+        self.misses += 1
+        return None
 
     def update(self, pc: int, target: int, now: int = 0) -> None:
         """Record the resolved target of a taken control instruction."""
         index, tag = self._set_and_tag(pc)
-        btb_set = self._sets[index]
-        if tag not in btb_set and len(btb_set) >= self.associativity:
-            victim = min(btb_set, key=lambda t: btb_set[t].last_use)
-            del btb_set[victim]
-        btb_set[tag] = _BtbEntry(target=target, last_use=now)
+        base = index * self.associativity
+        count = self._count[index]
+        tags = self._tag
+        for k in range(base, base + count):
+            if tags[k] == tag:
+                self._target[k] = target
+                self._last_use[k] = now
+                return
+        if count >= self.associativity:
+            last_use = self._last_use
+            victim = base
+            for k in range(base + 1, base + count):
+                if last_use[k] < last_use[victim]:
+                    victim = k
+            targets = self._target
+            for k in range(victim, base + count - 1):
+                tags[k] = tags[k + 1]
+                targets[k] = targets[k + 1]
+                last_use[k] = last_use[k + 1]
+            count -= 1
+        slot = base + count
+        tags[slot] = tag
+        self._target[slot] = target
+        self._last_use[slot] = now
+        self._count[index] = count + 1
 
     def contains(self, pc: int) -> bool:
         index, tag = self._set_and_tag(pc)
-        return tag in self._sets[index]
+        base = index * self.associativity
+        tags = self._tag
+        for k in range(base, base + self._count[index]):
+            if tags[k] == tag:
+                return True
+        return False
 
     @property
     def hit_rate(self) -> float:

@@ -929,7 +929,10 @@ class CampaignScheduler:
                    cells_total=cells_total,
                    cells_failed=len(failures) if failures else 0,
                    wall_seconds=round(wall, 2))
-        if self.bench_report:
+        # A fully cache-served assembly ran zero simulations, so its
+        # instructions-per-second is 0.0 by construction — recording it
+        # would poison the throughput trajectory with cache-hit noise.
+        if self.bench_report and summary.get("simulations"):
             from repro.experiments.bench import update_bench_report
 
             try:

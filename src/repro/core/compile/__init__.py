@@ -1,0 +1,81 @@
+"""Compiled tick pipeline: per-config specialized hot loops.
+
+Setup-time passes replace the interpreted per-instruction loop in
+:mod:`repro.core.pipeline` with a compiled kernel plus a thin set of
+per-variant Python callbacks:
+
+1. **Plan** (:mod:`repro.core.compile.plan`) — resolve every run-invariant
+   config branch (which hooks exist, which prefetchers train, whether the
+   fast memory accessors are sound) into a frozen
+   :class:`SpecializationPlan`.
+2. **Decode** (:mod:`repro.core.compile.decoded`) — flatten per-opcode
+   attributes of the trace window into typed arrays, memoized per window.
+3. **Build** (:mod:`repro.core.compile.build`) — compile ``kernel.c`` once
+   per interpreter ABI with the system C compiler, cached on disk under
+   ``.repro_cache/compiled/``.
+4. **Run** (:mod:`repro.core.compile.driver`) — drive the kernel; any
+   model interaction (caches, predictor, DLA hooks) happens through
+   callbacks so dynamic state lives exactly where the reference keeps it.
+
+``REPRO_FAST_PIPELINE=0`` disables all of it and the reference
+interpreter carries every run; any failure (no compiler, compile error)
+degrades to the same fallback silently.  The golden equivalence tests pin
+both paths to bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.core.results import CoreResult
+
+FAST_PIPELINE_ENV = "REPRO_FAST_PIPELINE"
+
+_FALSEY = {"0", "false", "no", "off"}
+
+#: Instructions retired through the compiled kernel in this process.
+_compiled_ticks = 0
+
+
+def fast_pipeline_enabled() -> bool:
+    return os.environ.get(FAST_PIPELINE_ENV, "1").strip().lower() not in _FALSEY
+
+
+def compiled_ticks_total() -> int:
+    """Process-wide count of instructions retired by the compiled kernel."""
+    return _compiled_ticks
+
+
+def kernel_available() -> bool:
+    """Whether the compiled kernel can be (or has been) loaded."""
+    if not fast_pipeline_enabled():
+        return False
+    from repro.core.compile.build import load_kernel
+
+    return load_kernel() is not None
+
+
+def maybe_run_compiled(core, entries: Sequence, hooks, start_cycle: float,
+                       collect_timings: bool) -> Optional[CoreResult]:
+    """Run one simulation on the compiled path, or ``None`` to fall back.
+
+    ``None`` means the reference interpreter must carry the run — the
+    kill-switch is set, the kernel failed to build, or the run needs
+    per-instruction timings.
+    """
+    global _compiled_ticks
+    if not fast_pipeline_enabled():
+        return None
+    from repro.core.compile.build import load_kernel
+
+    kernel = load_kernel()
+    if kernel is None:
+        return None
+    from repro.core.compile.driver import run_compiled
+
+    result = run_compiled(kernel, core, entries, hooks, start_cycle,
+                          collect_timings)
+    if result is not None:
+        _compiled_ticks += len(entries)
+    return result

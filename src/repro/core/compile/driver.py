@@ -1,0 +1,427 @@
+"""Driver for the compiled tick loop.
+
+``run_compiled`` marshals one run onto the C kernel: the decoded trace's
+flat arrays go in as zero-copy buffers, and every model interaction the
+kernel cannot perform itself — cache and TLB state, the branch predictor,
+prefetcher training, DLA hooks — comes back out through small per-event
+callbacks that communicate over a shared ``array('d')`` buffer (argument
+marshalling through object calls would dominate otherwise).
+
+Every callback body is a statement-for-statement transcription of the
+corresponding block of :meth:`repro.core.pipeline.OutOfOrderCore.run`; the
+golden equivalence suites pin the two paths together bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Sequence
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.predictors import TageLitePredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.core.results import CoreResult
+from repro.emulator.trace import DynamicInst
+
+from repro.core.compile.decoded import get_decoded
+from repro.core.compile.plan import SpecializationPlan, plan_run
+
+#: Comm-buffer slots (must match kernel.c).
+B_I, B_T0, B_T1, B_OUT0, B_OUT1, B_DUE, B_OUT2 = 0, 1, 2, 3, 4, 5, 6
+
+#: Counter slots (must match kernel.c).
+(C_L1I_ACC, C_L1I_MISS, C_L1D_ACC, C_L1D_MISS, C_L2_MISS, C_DRAM,
+ C_DECODED, C_EXECUTED, C_COMMITTED, C_FETCH_BOUND,
+ C_VALID_SKIP, C_VP_USED, C_VP_MISS, C_SB_SKIP, C_SB_VALID,
+ C_BRANCHES, C_BR_MISPRED, C_HINT_MISPRED, C_BTB_MISS,
+ C_TICKS, C_COUNT) = range(21)
+
+_NAN = float("nan")
+_EMPTY_Q = array("q", (0,))
+_EMPTY_B = array("b", (0,))
+_EMPTY_U = array("Q", (0,))
+
+
+def run_compiled(kernel, core, entries: Sequence[DynamicInst], hooks,
+                 start_cycle: float, collect_timings: bool
+                 ) -> Optional[CoreResult]:
+    """Run one simulation on the compiled kernel (``None`` when ineligible)."""
+    plan = plan_run(core, hooks, collect_timings)
+    if plan is None:
+        return None
+
+    cfg = core.config
+    result = CoreResult(name=core.name)
+    n = len(entries)
+    if n == 0:
+        return result
+
+    decoded = get_decoded(entries)
+    memory = core.memory
+    ea = decoded.ea
+    pcs = decoded.pcs
+    flags = decoded.flags
+
+    comm = array("d", bytes(8 * 8))
+    fetch_times = array("d", bytes(8 * n))
+    dispatch_times = array("d", bytes(8 * n))
+    commit_times = array("d", bytes(8 * n))
+    counters = array("q", bytes(8 * C_COUNT))
+    hist_capacity = cfg.fetch_buffer_entries
+    hist = array("q", bytes(8 * (hist_capacity + 1)))
+
+    recent_load_addresses: list = []
+    l1_pf = core.l1_prefetcher
+    l2_pf = core.l2_prefetcher
+    mem_prefetch = memory.prefetch
+    handle_control = core._handle_control
+    wrong_path_pollution = core._wrong_path_pollution
+    access_data_fast = memory.access_data_fast
+    access_inst_fast = memory.access_inst_fast
+
+    # ---------------- instruction-side access ----------------
+    ba = decoded.ba
+
+    def cb_icache():
+        ready, info = access_inst_fast(ba[int(comm[0])], int(comm[1]))
+        comm[3] = ready
+        comm[4] = info
+
+    # ---------------- data-side access ----------------
+    if plan.use_fast_access:
+        def observe_prefetchers(pc, address, info, cycle):
+            if l1_pf is not None:
+                for request in l1_pf.observe(pc, address, not info & 1, cycle):
+                    if mem_prefetch(request.address, cycle, level="l1") is None:
+                        l1_pf.notify_drop(request)
+            if l2_pf is not None and info & 1:
+                for request in l2_pf.observe(pc, address, bool(info & 8), cycle):
+                    if mem_prefetch(request.address, cycle,
+                                    level=request.level) is None:
+                        l2_pf.notify_drop(request)
+
+        has_prefetchers = l1_pf is not None or l2_pf is not None
+
+        def cb_load():
+            i = int(comm[0])
+            now = int(comm[1])
+            address = ea[i]
+            ready, info = access_data_fast(address, now, False)
+            if has_prefetchers:
+                observe_prefetchers(pcs[i], address, info, now)
+            recent_load_addresses.append(address)
+            if len(recent_load_addresses) > 16:
+                del recent_load_addresses[0]
+            comm[3] = ready
+            comm[4] = info
+
+        def cb_store():
+            i = int(comm[0])
+            address = ea[i]
+            ready, info = access_data_fast(address, int(comm[1]), True)
+            if has_prefetchers:
+                observe_prefetchers(pcs[i], address, info, int(comm[1]))
+            comm[4] = info
+    else:
+        # An on_memory_access hook observes real AccessResult objects, so
+        # these variants go through the reference accessor.
+        from repro.memory.hierarchy import AccessType
+
+        memory_access = memory.access
+        run_prefetchers = core._run_prefetchers
+        has_prefetchers = l1_pf is not None or l2_pf is not None
+        hook_on_memory = hooks.on_memory_access
+        ACC_LOAD = AccessType.LOAD
+        ACC_STORE = AccessType.STORE
+
+        def cb_load():
+            i = int(comm[0])
+            issue = comm[1]
+            address = ea[i]
+            access = memory_access(address, int(issue), ACC_LOAD)
+            if has_prefetchers:
+                run_prefetchers(pcs[i], address, access, issue)
+            recent_load_addresses.append(address)
+            if len(recent_load_addresses) > 16:
+                del recent_load_addresses[0]
+            hook_on_memory(entries[i], access, issue)
+            comm[3] = float(access.ready_cycle)
+            comm[4] = (1 | (2 if access.supplied_by in ("l3", "dram") else 0)
+                       | (4 if access.dram_access else 0)) if access.l1_miss \
+                else (4 if access.dram_access else 0)
+
+        def cb_store():
+            i = int(comm[0])
+            commit_time = comm[1]
+            address = ea[i]
+            access = memory_access(address, int(commit_time), ACC_STORE)
+            if has_prefetchers:
+                run_prefetchers(pcs[i], address, access, commit_time)
+            hook_on_memory(entries[i], access, commit_time)
+            comm[4] = (1 | (2 if access.supplied_by in ("l3", "dram") else 0)
+                       | (4 if access.dram_access else 0)) if access.l1_miss \
+                else (4 if access.dram_access else 0)
+
+    # ---------------- control flow ----------------
+    pending_hint = [None]
+
+    def cb_control():
+        i = int(comm[0])
+        if flags[i] & 1:  # F_BRANCH: consume the hint stashed at fetch
+            hint = pending_hint[0]
+            pending_hint[0] = None
+        else:
+            hint = None
+        redirect = handle_control(entries[i], comm[1], comm[2], hint, hooks,
+                                  result)
+        if redirect is None:
+            comm[3] = _NAN
+        else:
+            comm[3] = redirect
+            wrong_path_pollution(recent_load_addresses, comm[1], result)
+
+    # ---------------- native branch unit ----------------
+    # The kernel runs TAGE/BTB/RAS itself — directly on the Python
+    # objects' own flat arrays, so state persists across runs exactly as
+    # in the interpreter — when the core carries the stock structures.
+    # A subclass or an alternative predictor falls back to cb_control.
+    predictor = core.predictor
+    btb = core.btb
+    ras = core.ras
+    ctrl_native = 1 if (type(predictor) is TageLitePredictor
+                        and type(btb) is BranchTargetBuffer
+                        and type(ras) is ReturnAddressStack) else 0
+    cb_hint_miss = None
+    cb_redirect = None
+    if ctrl_native:
+        # The RAS is tiny: marshal it into a flat array for the run and
+        # write the result back after (the predictor and BTB are shared
+        # zero-copy and need no copies at all).
+        ras_stack = array("q", bytes(8 * ras.depth))
+        for k, address in enumerate(ras._stack):
+            ras_stack[k] = address
+        ras_state = array("q", [len(ras._stack), ras.pushes, ras.pops,
+                                ras.overflows, ras.underflows])
+        hook_hint_miss = hooks.on_hint_mispredict
+        if hook_hint_miss is not None:
+            def cb_hint_miss():
+                hook_hint_miss(entries[int(comm[0])], comm[1])
+
+        def cb_redirect():
+            wrong_path_pollution(recent_load_addresses, comm[1], result)
+
+        native_spec = dict(
+            tage_base_n=predictor.base.entries,
+            tage_base_thresh=predictor.base.threshold,
+            tage_base_max=predictor.base.max_value,
+            tage_nt=predictor.num_tables,
+            tage_te=predictor.table_entries,
+            tage_tag_mask=predictor.tag_mask,
+            tage_base=predictor.base._table,
+            tage_present=predictor._present,
+            tage_tags=predictor._tag_arr,
+            tage_ctr=predictor._ctr,
+            tage_useful=predictor._useful,
+            tage_hist=predictor._hist,
+            tage_masks=predictor._masks_arr,
+            btb_sets=btb.num_sets,
+            btb_assoc=btb.associativity,
+            btb_tag=btb._tag,
+            btb_target=btb._target,
+            btb_use=btb._last_use,
+            btb_count=btb._count,
+            ras_depth=ras.depth,
+            ras_stack=ras_stack,
+            ras_state=ras_state,
+        )
+    else:
+        ras_stack = _EMPTY_Q
+        ras_state = array("q", bytes(8 * 5))
+        native_spec = dict(
+            tage_base_n=1, tage_base_thresh=0, tage_base_max=0,
+            tage_nt=0, tage_te=1, tage_tag_mask=0,
+            tage_base=_EMPTY_Q, tage_present=_EMPTY_B, tage_tags=_EMPTY_Q,
+            tage_ctr=_EMPTY_Q, tage_useful=_EMPTY_Q, tage_hist=_EMPTY_U,
+            tage_masks=_EMPTY_U,
+            btb_sets=1, btb_assoc=1,
+            btb_tag=_EMPTY_Q, btb_target=_EMPTY_Q, btb_use=_EMPTY_Q,
+            btb_count=_EMPTY_Q,
+            ras_depth=1, ras_stack=ras_stack, ras_state=ras_state,
+        )
+
+    # ---------------- optional hook callbacks ----------------
+    #: Sparse-firing declarations from the hook source (None for generic
+    #: hooks, which keep the fire-on-every-instruction contract).
+    fast = hooks.fast_hints
+
+    cb_branch_hint = None
+    if plan.has_branch_hint:
+        hook_branch_hint = hooks.branch_hint
+
+        def cb_branch_hint():
+            i = int(comm[0])
+            fetch_time = comm[1]
+            hint = hook_branch_hint(entries[i])
+            pending_hint[0] = hint
+            if hint is None:
+                comm[4] = 0.0
+            else:
+                comm[4] = float(1 | (2 if hint.correct else 0)
+                                | (4 if hint.has_target else 0))
+                if hint.available > fetch_time:
+                    result.fetch_stall_on_hint += hint.available - fetch_time
+                    fetch_time = hint.available
+            comm[3] = fetch_time
+
+    cb_on_fetch = None
+    fetch_gate = 0
+    if plan.has_on_fetch:
+        hook_on_fetch = hooks.on_fetch
+        next_due = fast.fetch_next_due if fast is not None else None
+        if next_due is not None:
+            # Gated: the kernel fires only for branches and once fetch
+            # reaches the next-due cycle; every fired call refreshes it.
+            fetch_gate = 1
+            comm[B_DUE] = next_due()
+
+            def cb_on_fetch():
+                hook_on_fetch(entries[int(comm[0])], comm[1])
+                comm[B_DUE] = next_due()
+        else:
+            def cb_on_fetch():
+                hook_on_fetch(entries[int(comm[0])], comm[1])
+
+    cb_on_commit = None
+    commit_filter = 0
+    commit_mask = 0
+    commit_pcs = _EMPTY_Q
+    n_commit_pcs = 0
+    if plan.has_on_commit:
+        hook_on_commit = hooks.on_commit
+        mask = fast.commit_flag_mask if fast is not None else None
+        if mask is not None:
+            commit_filter = 1
+            commit_mask = mask
+            if fast.commit_pcs:
+                commit_pcs = array("q", sorted(fast.commit_pcs))
+                n_commit_pcs = len(commit_pcs)
+
+        def cb_on_commit():
+            hook_on_commit(entries[int(comm[0])], comm[1])
+
+    cb_value_hint = None
+    sb_enable = 0
+    vt_seqs = _EMPTY_Q
+    n_vt_seqs = 0
+    scoreboard = None
+    if plan.has_value_hint:
+        value_request = fast.value_request if fast is not None else None
+        if value_request is not None:
+            # Split protocol: Python delivers predictions for the declared
+            # seqs only; the kernel runs the validation scoreboard (and its
+            # counters come back through C_SB_SKIP / C_SB_VALID).
+            sb_enable = 1
+            scoreboard = fast.scoreboard
+            targets = fast.value_target_seqs or ()
+            n_vt_seqs = len(targets)
+            if targets:
+                vt_seqs = array("q", targets)
+
+            def cb_value_hint():
+                hint = value_request(entries[int(comm[0])])
+                if hint is None:
+                    comm[3] = 0.0
+                else:
+                    comm[3] = 1.0
+                    comm[4] = hint[0]
+                    comm[6] = 1.0 if hint[1] else 0.0
+        else:
+            hook_value_hint = hooks.value_hint
+
+            def cb_value_hint():
+                candidate = hook_value_hint(entries[int(comm[0])])
+                if candidate is None or candidate.available > comm[1]:
+                    comm[3] = 0.0
+                elif candidate.skip_validation:
+                    comm[3] = 1.0
+                elif candidate.correct:
+                    comm[3] = 2.0
+                else:
+                    comm[3] = 3.0
+
+    spec = dict(
+        n=n,
+        start_cycle=float(start_cycle),
+        fetch_inc=1.0 / cfg.fetch_width,
+        dispatch_inc=1.0 / cfg.decode_width,
+        commit_inc=1.0 / cfg.commit_width,
+        frontend_latency=float(cfg.frontend_latency),
+        value_mispredict_penalty=float(cfg.value_mispredict_penalty),
+        fetch_buffer_entries=cfg.fetch_buffer_entries,
+        rob_entries=cfg.rob_entries,
+        lsq_entries=cfg.lsq_entries,
+        block_bytes=core._block_bytes,
+        num_int_alus=cfg.num_int_alus,
+        num_mem_ports=cfg.num_mem_ports,
+        num_fp_units=cfg.num_fp_units,
+        num_regs=decoded.num_regs,
+        hist_capacity=hist_capacity,
+        hist_sample=4,
+        sb_enable=sb_enable, fetch_gate=fetch_gate,
+        commit_filter=commit_filter, commit_mask=commit_mask,
+        n_vt_seqs=n_vt_seqs, n_commit_pcs=n_commit_pcs,
+        ctrl_native=ctrl_native,
+        branch_mispredict_penalty=float(cfg.branch_mispredict_penalty),
+        ba=decoded.ba, flags=decoded.flags, ea=decoded.ea, lat=decoded.lat,
+        dst=decoded.dst, srcs=decoded.srcs, srcs_off=decoded.srcs_off,
+        sb_dst=decoded.sb_dst, seq=decoded.seq, pc=decoded.pcs,
+        nxt=decoded.nxt,
+        vt_seqs=vt_seqs, commit_pcs=commit_pcs,
+        fetch_times=fetch_times, dispatch_times=dispatch_times,
+        commit_times=commit_times, counters=counters, hist=hist, comm=comm,
+        cb_icache=cb_icache, cb_load=cb_load, cb_store=cb_store,
+        cb_control=None if ctrl_native else cb_control,
+        cb_branch_hint=cb_branch_hint,
+        cb_on_fetch=cb_on_fetch, cb_on_commit=cb_on_commit,
+        cb_value_hint=cb_value_hint,
+        cb_hint_miss=cb_hint_miss, cb_redirect=cb_redirect,
+        **native_spec,
+    )
+    kernel.run_tick_loop(spec)
+
+    if ctrl_native:
+        ras._stack = list(ras_stack[:ras_state[0]])
+        ras.pushes = ras_state[1]
+        ras.pops = ras_state[2]
+        ras.overflows = ras_state[3]
+        ras.underflows = ras_state[4]
+
+    result.l1i_accesses += counters[C_L1I_ACC]
+    result.l1i_misses += counters[C_L1I_MISS]
+    result.l1d_accesses += counters[C_L1D_ACC]
+    result.l1d_misses += counters[C_L1D_MISS]
+    result.l2_misses += counters[C_L2_MISS]
+    result.dram_accesses += counters[C_DRAM]
+    result.decoded += counters[C_DECODED]
+    result.executed += counters[C_EXECUTED]
+    result.committed += counters[C_COMMITTED]
+    result.validations_skipped += counters[C_VALID_SKIP]
+    result.value_predictions_used += counters[C_VP_USED]
+    result.value_mispredictions += counters[C_VP_MISS]
+    result.branches += counters[C_BRANCHES]
+    result.branch_mispredicts += counters[C_BR_MISPRED]
+    result.hint_mispredicts += counters[C_HINT_MISPRED]
+    result.btb_misses += counters[C_BTB_MISS]
+    if scoreboard is not None:
+        scoreboard.skips += counters[C_SB_SKIP]
+        scoreboard.validations += counters[C_SB_VALID]
+    result.cycles = commit_times[-1] - start_cycle
+    result.tlb_misses = memory.tlb.stats.misses
+    result.fetch_bubbles = float(n - counters[C_FETCH_BOUND])
+    result.timings = None
+    for occupancy, count in enumerate(hist):
+        if count:
+            result.fetch_queue_histogram[occupancy] = (
+                result.fetch_queue_histogram.get(occupancy, 0) + count
+            )
+    return result

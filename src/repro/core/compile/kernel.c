@@ -1,0 +1,1049 @@
+/* Compiled tick kernel: the per-instruction scheduling shell of
+ * OutOfOrderCore.run, with every model interaction (caches, predictor,
+ * hooks) left in Python and reached through per-event callbacks that
+ * communicate over a shared double buffer.  Mirrors core/pipeline.py
+ * statement-for-statement; bit-identity is enforced by the golden and
+ * equivalence suites. */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+/* decoded static flags (must match core/compile/decoded.py) */
+#define F_BRANCH  1
+#define F_MEM     2
+#define F_LOAD    4
+#define F_STORE   8
+#define F_CONTROL 16
+#define F_FP      32
+#define F_WRITES  64
+#define F_SKIPPABLE 128
+#define F_TAKEN   256
+#define F_CALL    512
+#define F_RET     1024
+
+/* comm-buffer slots (must match core/compile/driver.py) */
+#define B_I    0
+#define B_T0   1
+#define B_T1   2
+#define B_OUT0 3
+#define B_OUT1 4
+#define B_DUE  5
+#define B_OUT2 6
+
+/* counter slots (must match core/compile/driver.py) */
+enum {
+    C_L1I_ACC, C_L1I_MISS, C_L1D_ACC, C_L1D_MISS, C_L2_MISS, C_DRAM,
+    C_DECODED, C_EXECUTED, C_COMMITTED, C_FETCH_BOUND,
+    C_VALID_SKIP, C_VP_USED, C_VP_MISS, C_SB_SKIP, C_SB_VALID,
+    C_BRANCHES, C_BR_MISPRED, C_HINT_MISPRED, C_BTB_MISS,
+    C_TICKS, C_COUNT
+};
+
+/* ------------------------------------------------------------------ */
+/* Native branch unit: TAGE-lite predictor, BTB and RAS operating on  */
+/* the Python objects' own flat arrays (zero-copy, state persists     */
+/* across runs exactly as in the interpreter).  Each function mirrors */
+/* its Python counterpart statement-for-statement.                    */
+
+static inline uint64_t
+fold_u(uint64_t value, int bits)
+{
+    uint64_t mask = (1ULL << bits) - 1;
+    uint64_t folded = 0;
+    while (value) {
+        folded ^= value & mask;
+        value >>= bits;
+    }
+    return folded;
+}
+
+typedef struct {
+    int64_t *base;                 /* bimodal base counters */
+    int64_t base_n, base_thresh, base_max;
+    int8_t *present;               /* tagged tables, [table][index] flat */
+    int64_t *tags, *ctr, *useful;
+    uint64_t *hist;                /* single-element history register */
+    uint64_t *masks;               /* per-table history masks */
+    int64_t nt, te, tag_mask;
+} tage_t;
+
+/* Mirrors TageLitePredictor.predict_update. */
+static int
+tage_predict_update(tage_t *tg, int64_t pc_, int taken)
+{
+    uint64_t history = tg->hist[0];
+    uint64_t pc_hash = (uint64_t)pc_ ^ ((uint64_t)pc_ >> 5);
+    int64_t provider = -1, slot = -1;
+    for (int64_t t = tg->nt - 1; t >= 0; t--) {
+        uint64_t h = history & tg->masks[t];
+        int64_t index = (int64_t)(((uint64_t)pc_ ^ fold_u(h, 10)
+                                   ^ (uint64_t)(t * 0x9E37)) % (uint64_t)tg->te);
+        int64_t k = t * tg->te + index;
+        if (tg->present[k]) {
+            int64_t tag = (int64_t)((pc_hash ^ fold_u(h, 7)
+                                     ^ (uint64_t)(t * 0x1F3)) & (uint64_t)tg->tag_mask);
+            if (tg->tags[k] == tag) {
+                provider = t;
+                slot = k;
+                break;
+            }
+        }
+    }
+    int predicted;
+    if (provider >= 0) {
+        predicted = tg->ctr[slot] >= 0;
+        int64_t c = tg->ctr[slot] + (taken ? 1 : -1);
+        if (c > 3) c = 3;
+        if (c < -4) c = -4;
+        tg->ctr[slot] = c;
+        if (predicted == taken) {
+            if (tg->useful[slot] < 3) tg->useful[slot]++;
+        } else {
+            if (tg->useful[slot] > 0) tg->useful[slot]--;
+        }
+    } else {
+        predicted = tg->base[pc_ % tg->base_n] >= tg->base_thresh;
+    }
+    {   /* base.update */
+        int64_t idx = pc_ % tg->base_n;
+        int64_t c = tg->base[idx];
+        if (taken) { if (c < tg->base_max) c++; }
+        else { if (c > 0) c--; }
+        tg->base[idx] = c;
+    }
+    if (predicted != taken) {
+        int64_t start = provider >= 0 ? provider + 1 : 0;
+        for (int64_t t = start; t < tg->nt; t++) {
+            uint64_t h = history & tg->masks[t];
+            int64_t index = (int64_t)(((uint64_t)pc_ ^ fold_u(h, 10)
+                                       ^ (uint64_t)(t * 0x9E37)) % (uint64_t)tg->te);
+            int64_t k = t * tg->te + index;
+            if (!tg->present[k] || tg->useful[k] == 0) {
+                tg->present[k] = 1;
+                tg->tags[k] = (int64_t)((pc_hash ^ fold_u(h, 7)
+                                         ^ (uint64_t)(t * 0x1F3)) & (uint64_t)tg->tag_mask);
+                tg->ctr[k] = taken ? 0 : -1;
+                tg->useful[k] = 0;
+                break;
+            }
+        }
+    }
+    tg->hist[0] = (history << 1) | (uint64_t)(taken != 0);
+    return predicted;
+}
+
+typedef struct {
+    int64_t *tag, *target, *use, *count;
+    int64_t sets, assoc;
+} btb_t;
+
+static inline int
+btb_contains(btb_t *b, int64_t pc_)
+{
+    int64_t s = pc_ % b->sets, tag = pc_ / b->sets;
+    int64_t base = s * b->assoc, c = b->count[s];
+    for (int64_t k = 0; k < c; k++)
+        if (b->tag[base + k] == tag)
+            return 1;
+    return 0;
+}
+
+/* Mirrors BranchTargetBuffer.update: insertion-order sets, update of an
+ * existing way keeps its position, victim = first way with minimal use. */
+static void
+btb_update(btb_t *b, int64_t pc_, int64_t target, int64_t now)
+{
+    int64_t s = pc_ % b->sets, tag = pc_ / b->sets;
+    int64_t base = s * b->assoc, c = b->count[s];
+    for (int64_t k = 0; k < c; k++) {
+        if (b->tag[base + k] == tag) {
+            b->target[base + k] = target;
+            b->use[base + k] = now;
+            return;
+        }
+    }
+    if (c >= b->assoc) {
+        int64_t victim = 0;
+        for (int64_t k = 1; k < c; k++)
+            if (b->use[base + k] < b->use[base + victim])
+                victim = k;
+        for (int64_t k = victim; k < c - 1; k++) {
+            b->tag[base + k] = b->tag[base + k + 1];
+            b->target[base + k] = b->target[base + k + 1];
+            b->use[base + k] = b->use[base + k + 1];
+        }
+        c--;
+    }
+    b->tag[base + c] = tag;
+    b->target[base + c] = target;
+    b->use[base + c] = now;
+    b->count[s] = c + 1;
+}
+
+typedef struct {
+    int64_t *stack;
+    int64_t *st;    /* [len, pushes, pops, overflows, underflows] */
+    int64_t depth;
+} ras_t;
+
+static inline void
+ras_push(ras_t *r, int64_t addr)
+{
+    r->st[1]++;
+    int64_t len = r->st[0];
+    if (len >= r->depth) {
+        r->st[3]++;
+        memmove(r->stack, r->stack + 1, (size_t)(len - 1) * sizeof(int64_t));
+        len--;
+    }
+    r->stack[len++] = addr;
+    r->st[0] = len;
+}
+
+static inline int
+ras_pop(ras_t *r, int64_t *out)
+{
+    r->st[2]++;
+    int64_t len = r->st[0];
+    if (len == 0) {
+        r->st[4]++;
+        return 0;
+    }
+    *out = r->stack[len - 1];
+    r->st[0] = len - 1;
+    return 1;
+}
+
+typedef struct { double free_at; int64_t index; } unit_t;
+
+static inline double
+heap_reserve(unit_t *heap, int count, double earliest, double busy_for)
+{
+    double free_at = heap[0].free_at;
+    double start = free_at > earliest ? free_at : earliest;
+    double nf = start + busy_for;
+    int64_t ni = heap[0].index;
+    int pos = 0;
+    for (;;) {
+        int child = 2 * pos + 1;
+        if (child >= count)
+            break;
+        int right = child + 1;
+        if (right < count &&
+            (heap[right].free_at < heap[child].free_at ||
+             (heap[right].free_at == heap[child].free_at &&
+              heap[right].index < heap[child].index)))
+            child = right;
+        if (heap[child].free_at < nf ||
+            (heap[child].free_at == nf && heap[child].index < ni)) {
+            heap[pos] = heap[child];
+            pos = child;
+        } else
+            break;
+    }
+    heap[pos].free_at = nf;
+    heap[pos].index = ni;
+    return start;
+}
+
+static inline int
+in_sorted(const int64_t *a, int64_t count, int64_t x)
+{
+    int64_t lo = 0, hi = count;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) / 2;
+        if (a[mid] < x)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo < count && a[lo] == x;
+}
+
+static int
+get_buffer(PyObject *dict, const char *key, Py_buffer *view, void **ptr)
+{
+    PyObject *obj = PyDict_GetItemString(dict, key);
+    if (obj == NULL) {
+        PyErr_Format(PyExc_KeyError, "missing buffer %s", key);
+        return -1;
+    }
+    if (PyObject_GetBuffer(obj, view, PyBUF_SIMPLE) < 0)
+        return -1;
+    *ptr = view->buf;
+    return 0;
+}
+
+static double
+get_float(PyObject *dict, const char *key, int *err)
+{
+    PyObject *obj = PyDict_GetItemString(dict, key);
+    if (obj == NULL) {
+        PyErr_Format(PyExc_KeyError, "missing scalar %s", key);
+        *err = 1;
+        return 0.0;
+    }
+    double v = PyFloat_AsDouble(obj);
+    if (v == -1.0 && PyErr_Occurred())
+        *err = 1;
+    return v;
+}
+
+static int64_t
+get_int(PyObject *dict, const char *key, int *err)
+{
+    PyObject *obj = PyDict_GetItemString(dict, key);
+    if (obj == NULL) {
+        PyErr_Format(PyExc_KeyError, "missing scalar %s", key);
+        *err = 1;
+        return 0;
+    }
+    int64_t v = PyLong_AsLongLong(obj);
+    if (v == -1 && PyErr_Occurred())
+        *err = 1;
+    return v;
+}
+
+/* Optional callback: missing key or None -> NULL (feature disabled). */
+static PyObject *
+get_callback(PyObject *dict, const char *key)
+{
+    PyObject *obj = PyDict_GetItemString(dict, key);
+    if (obj == NULL || obj == Py_None)
+        return NULL;
+    return obj;
+}
+
+static PyObject *
+run_tick_loop(PyObject *self, PyObject *args)
+{
+    PyObject *spec;
+    if (!PyArg_ParseTuple(args, "O!", &PyDict_Type, &spec))
+        return NULL;
+
+    int err = 0;
+    int64_t n = get_int(spec, "n", &err);
+    double start_cycle = get_float(spec, "start_cycle", &err);
+    double fetch_inc = get_float(spec, "fetch_inc", &err);
+    double dispatch_inc = get_float(spec, "dispatch_inc", &err);
+    double commit_inc = get_float(spec, "commit_inc", &err);
+    double frontend_latency = get_float(spec, "frontend_latency", &err);
+    double vmp = get_float(spec, "value_mispredict_penalty", &err);
+    int64_t fetch_buffer_entries = get_int(spec, "fetch_buffer_entries", &err);
+    int64_t rob_entries = get_int(spec, "rob_entries", &err);
+    int64_t lsq_entries = get_int(spec, "lsq_entries", &err);
+    int64_t block_bytes = get_int(spec, "block_bytes", &err);
+    int64_t num_int = get_int(spec, "num_int_alus", &err);
+    int64_t num_mem = get_int(spec, "num_mem_ports", &err);
+    int64_t num_fp = get_int(spec, "num_fp_units", &err);
+    int64_t num_regs = get_int(spec, "num_regs", &err);
+    int64_t hist_capacity = get_int(spec, "hist_capacity", &err);
+    int64_t hist_sample = get_int(spec, "hist_sample", &err);
+    int64_t sb_enable = get_int(spec, "sb_enable", &err);
+    int64_t fetch_gate = get_int(spec, "fetch_gate", &err);
+    int64_t commit_filter = get_int(spec, "commit_filter", &err);
+    int64_t commit_mask = get_int(spec, "commit_mask", &err);
+    int64_t n_vt_seqs = get_int(spec, "n_vt_seqs", &err);
+    int64_t n_commit_pcs = get_int(spec, "n_commit_pcs", &err);
+    int64_t ctrl_native = get_int(spec, "ctrl_native", &err);
+    double bmp = get_float(spec, "branch_mispredict_penalty", &err);
+    tage_t tg = {0};
+    btb_t btb = {0};
+    ras_t ras = {0};
+    tg.base_n = get_int(spec, "tage_base_n", &err);
+    tg.base_thresh = get_int(spec, "tage_base_thresh", &err);
+    tg.base_max = get_int(spec, "tage_base_max", &err);
+    tg.nt = get_int(spec, "tage_nt", &err);
+    tg.te = get_int(spec, "tage_te", &err);
+    tg.tag_mask = get_int(spec, "tage_tag_mask", &err);
+    btb.sets = get_int(spec, "btb_sets", &err);
+    btb.assoc = get_int(spec, "btb_assoc", &err);
+    ras.depth = get_int(spec, "ras_depth", &err);
+    if (err)
+        return NULL;
+
+    Py_buffer v_ba = {0}, v_flags = {0}, v_ea = {0}, v_lat = {0}, v_dst = {0};
+    Py_buffer v_srcs = {0}, v_soff = {0}, v_ft = {0}, v_dt = {0}, v_ct = {0};
+    Py_buffer v_cnt = {0}, v_hist = {0}, v_comm = {0};
+    Py_buffer v_sbd = {0}, v_seq = {0}, v_pc = {0}, v_vt = {0}, v_cpc = {0};
+    Py_buffer v_nxt = {0}, v_tb = {0}, v_tp = {0}, v_tt = {0}, v_tc = {0};
+    Py_buffer v_tu = {0}, v_th = {0}, v_tm = {0};
+    Py_buffer v_bt = {0}, v_bg = {0}, v_bu = {0}, v_bc = {0};
+    Py_buffer v_rs = {0}, v_rt = {0};
+    int64_t *ba = NULL, *flags = NULL, *ea = NULL, *dst = NULL;
+    int64_t *srcs = NULL, *soff = NULL, *counters = NULL, *hist = NULL;
+    int64_t *sb_dst = NULL, *seq = NULL, *pc = NULL, *nxt = NULL;
+    int64_t *vt_seqs = NULL, *commit_pcs = NULL;
+    double *lat = NULL, *fetch_times = NULL, *dispatch_times = NULL;
+    double *commit_times = NULL, *comm = NULL;
+    unit_t *int_heap = NULL, *mem_heap = NULL, *fp_heap = NULL;
+    double *reg_ready = NULL;
+    int64_t *lsq_ring = NULL;
+    uint8_t *validated = NULL;
+    PyObject *ret = NULL;
+
+    if (get_buffer(spec, "ba", &v_ba, (void **)&ba) < 0 ||
+        get_buffer(spec, "flags", &v_flags, (void **)&flags) < 0 ||
+        get_buffer(spec, "ea", &v_ea, (void **)&ea) < 0 ||
+        get_buffer(spec, "lat", &v_lat, (void **)&lat) < 0 ||
+        get_buffer(spec, "dst", &v_dst, (void **)&dst) < 0 ||
+        get_buffer(spec, "srcs", &v_srcs, (void **)&srcs) < 0 ||
+        get_buffer(spec, "srcs_off", &v_soff, (void **)&soff) < 0 ||
+        get_buffer(spec, "sb_dst", &v_sbd, (void **)&sb_dst) < 0 ||
+        get_buffer(spec, "seq", &v_seq, (void **)&seq) < 0 ||
+        get_buffer(spec, "pc", &v_pc, (void **)&pc) < 0 ||
+        get_buffer(spec, "vt_seqs", &v_vt, (void **)&vt_seqs) < 0 ||
+        get_buffer(spec, "commit_pcs", &v_cpc, (void **)&commit_pcs) < 0 ||
+        get_buffer(spec, "fetch_times", &v_ft, (void **)&fetch_times) < 0 ||
+        get_buffer(spec, "dispatch_times", &v_dt, (void **)&dispatch_times) < 0 ||
+        get_buffer(spec, "commit_times", &v_ct, (void **)&commit_times) < 0 ||
+        get_buffer(spec, "counters", &v_cnt, (void **)&counters) < 0 ||
+        get_buffer(spec, "hist", &v_hist, (void **)&hist) < 0 ||
+        get_buffer(spec, "comm", &v_comm, (void **)&comm) < 0 ||
+        get_buffer(spec, "nxt", &v_nxt, (void **)&nxt) < 0 ||
+        get_buffer(spec, "tage_base", &v_tb, (void **)&tg.base) < 0 ||
+        get_buffer(spec, "tage_present", &v_tp, (void **)&tg.present) < 0 ||
+        get_buffer(spec, "tage_tags", &v_tt, (void **)&tg.tags) < 0 ||
+        get_buffer(spec, "tage_ctr", &v_tc, (void **)&tg.ctr) < 0 ||
+        get_buffer(spec, "tage_useful", &v_tu, (void **)&tg.useful) < 0 ||
+        get_buffer(spec, "tage_hist", &v_th, (void **)&tg.hist) < 0 ||
+        get_buffer(spec, "tage_masks", &v_tm, (void **)&tg.masks) < 0 ||
+        get_buffer(spec, "btb_tag", &v_bt, (void **)&btb.tag) < 0 ||
+        get_buffer(spec, "btb_target", &v_bg, (void **)&btb.target) < 0 ||
+        get_buffer(spec, "btb_use", &v_bu, (void **)&btb.use) < 0 ||
+        get_buffer(spec, "btb_count", &v_bc, (void **)&btb.count) < 0 ||
+        get_buffer(spec, "ras_stack", &v_rs, (void **)&ras.stack) < 0 ||
+        get_buffer(spec, "ras_state", &v_rt, (void **)&ras.st) < 0)
+        goto done;
+
+    PyObject *cb_icache = get_callback(spec, "cb_icache");
+    PyObject *cb_load = get_callback(spec, "cb_load");
+    PyObject *cb_store = get_callback(spec, "cb_store");
+    PyObject *cb_control = get_callback(spec, "cb_control");
+    PyObject *cb_branch_hint = get_callback(spec, "cb_branch_hint");
+    PyObject *cb_on_fetch = get_callback(spec, "cb_on_fetch");
+    PyObject *cb_on_commit = get_callback(spec, "cb_on_commit");
+    PyObject *cb_value_hint = get_callback(spec, "cb_value_hint");
+    PyObject *cb_hint_miss = get_callback(spec, "cb_hint_miss");
+    PyObject *cb_redirect = get_callback(spec, "cb_redirect");
+
+    if (num_int < 1) num_int = 1;
+    if (num_mem < 1) num_mem = 1;
+    if (num_fp < 1) num_fp = 1;
+    int_heap = PyMem_Malloc(sizeof(unit_t) * num_int);
+    mem_heap = PyMem_Malloc(sizeof(unit_t) * num_mem);
+    fp_heap = PyMem_Malloc(sizeof(unit_t) * num_fp);
+    reg_ready = PyMem_Malloc(sizeof(double) * (num_regs > 0 ? num_regs : 1));
+    lsq_ring = PyMem_Malloc(sizeof(int64_t) * (lsq_entries > 0 ? lsq_entries : 1));
+    validated = PyMem_Malloc(num_regs > 0 ? (size_t)num_regs : 1);
+    if (!int_heap || !mem_heap || !fp_heap || !reg_ready || !lsq_ring ||
+        !validated) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (int64_t k = 0; k < num_int; k++) { int_heap[k].free_at = 0.0; int_heap[k].index = k; }
+    for (int64_t k = 0; k < num_mem; k++) { mem_heap[k].free_at = 0.0; mem_heap[k].index = k; }
+    for (int64_t k = 0; k < num_fp; k++) { fp_heap[k].free_at = 0.0; fp_heap[k].index = k; }
+    for (int64_t k = 0; k < num_regs; k++) reg_ready[k] = start_cycle;
+    memset(validated, 0, num_regs > 0 ? (size_t)num_regs : 1);
+
+    double fetch_cursor = start_cycle;
+    double fetch_redirect_at = start_cycle;
+    double prev_dispatch = start_cycle;
+    double prev_commit = start_cycle;
+    int64_t current_block = -1;
+    int have_block = 0;
+    double block_ready = start_cycle;
+    int64_t mem_count = 0;
+    int64_t fetch_bound = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t f = flags[i];
+
+        /* ---------------- fetch ---------------- */
+        double fetch_time =
+            fetch_cursor > fetch_redirect_at ? fetch_cursor : fetch_redirect_at;
+        if (i >= fetch_buffer_entries) {
+            double fb_gate = dispatch_times[i - fetch_buffer_entries];
+            if (fb_gate > fetch_time)
+                fetch_time = fb_gate;
+        }
+        int64_t byte_address = ba[i];
+        int64_t block = byte_address / block_bytes;
+        if (!have_block || block != current_block) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = fetch_time;
+            PyObject *r = PyObject_CallNoArgs(cb_icache);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+            counters[C_L1I_ACC]++;
+            if (comm[B_OUT1] != 0.0)
+                counters[C_L1I_MISS]++;
+            block_ready = comm[B_OUT0];
+            current_block = block;
+            have_block = 1;
+        }
+        if (block_ready > fetch_time)
+            fetch_time = block_ready;
+
+        int hint_present = 0, hint_correct = 0, hint_has_target = 0;
+        if ((f & F_BRANCH) && cb_branch_hint != NULL) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = fetch_time;
+            PyObject *r = PyObject_CallNoArgs(cb_branch_hint);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+            fetch_time = comm[B_OUT0];
+            int64_t h = (int64_t)comm[B_OUT1];
+            hint_present = h & 1;
+            hint_correct = (h & 2) != 0;
+            hint_has_target = (h & 4) != 0;
+        }
+
+        fetch_times[i] = fetch_time;
+        fetch_cursor = fetch_time + fetch_inc;
+        /* Gated hooks fire for every branch, and for non-branches only once
+         * fetch reaches the declared next-due cycle (a skipped call could
+         * only have been a no-op — see hookspec.CompiledHookSpec). */
+        if (cb_on_fetch != NULL &&
+            (!fetch_gate || (f & F_BRANCH) || fetch_time >= comm[B_DUE])) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = fetch_time;
+            PyObject *r = PyObject_CallNoArgs(cb_on_fetch);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+        }
+
+        /* ---------------- dispatch ---------------- */
+        double dispatch_time = fetch_time + frontend_latency;
+        double lane_gate = prev_dispatch + dispatch_inc;
+        if (lane_gate > dispatch_time)
+            dispatch_time = lane_gate;
+        if (i >= rob_entries) {
+            double rob_gate = commit_times[i - rob_entries];
+            if (rob_gate > dispatch_time)
+                dispatch_time = rob_gate;
+        }
+        if (f & F_MEM) {
+            if (mem_count >= lsq_entries) {
+                double lsq_gate = commit_times[lsq_ring[mem_count % lsq_entries]];
+                if (lsq_gate > dispatch_time)
+                    dispatch_time = lsq_gate;
+            }
+            lsq_ring[mem_count % lsq_entries] = i;
+            mem_count++;
+        }
+        dispatch_times[i] = dispatch_time;
+        if (dispatch_time - fetch_time <= frontend_latency + 1e-9)
+            fetch_bound++;
+        prev_dispatch = dispatch_time;
+        counters[C_DECODED]++;
+
+        /* ---------------- value reuse ---------------- */
+        int mode = 0;
+        if (sb_enable) {
+            /* Split protocol: the Python side delivers predictions (RNG,
+             * SIF disable, FQ traffic) only for declared target seqs; the
+             * validation scoreboard — which the reference runs for *every*
+             * instruction — lives here.  Mirrors
+             * dla.value_reuse.ValidationScoreboard.process_code. */
+            int has_pred = 0, correct = 0;
+            double available = 0.0;
+            if (in_sorted(vt_seqs, n_vt_seqs, seq[i])) {
+                comm[B_I] = (double)i;
+                comm[B_T0] = dispatch_time;
+                PyObject *r = PyObject_CallNoArgs(cb_value_hint);
+                if (r == NULL)
+                    goto done;
+                Py_DECREF(r);
+                if (comm[B_OUT0] != 0.0) {
+                    has_pred = 1;
+                    available = comm[B_OUT1];
+                    correct = comm[B_OUT2] != 0.0;
+                }
+            }
+            int skippable = (f & F_SKIPPABLE) != 0;
+            int skip = 0;
+            int64_t s0 = soff[i], s1 = soff[i + 1];
+            if (has_pred && skippable && s1 > s0) {
+                skip = 1;
+                for (int64_t s = s0; s < s1; s++)
+                    if (!validated[srcs[s]]) { skip = 0; break; }
+                if (skip)
+                    counters[C_SB_SKIP]++;
+                else
+                    counters[C_SB_VALID]++;
+            } else if (has_pred) {
+                counters[C_SB_VALID]++;
+            }
+            if (sb_dst[i] >= 0)
+                validated[sb_dst[i]] = (has_pred && skippable) ? 1 : 0;
+            if (has_pred && available <= dispatch_time)
+                mode = (skip && correct) ? 1 : (correct ? 2 : 3);
+        } else if (cb_value_hint != NULL) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = dispatch_time;
+            PyObject *r = PyObject_CallNoArgs(cb_value_hint);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+            mode = (int)comm[B_OUT0];
+        }
+
+        /* ---------------- issue / execute ---------------- */
+        double ready = dispatch_time + 1.0;
+        for (int64_t s = soff[i]; s < soff[i + 1]; s++) {
+            double src_ready = reg_ready[srcs[s]];
+            if (src_ready > ready)
+                ready = src_ready;
+        }
+
+        int executed = 1;
+        double complete;
+        if (mode == 1) {
+            complete = dispatch_time + 1.0;
+            executed = 0;
+            counters[C_VALID_SKIP]++;
+        } else if (f & F_MEM) {
+            double issue = heap_reserve(mem_heap, (int)num_mem, ready, 1.0);
+            if (f & F_LOAD) {
+                comm[B_I] = (double)i;
+                comm[B_T0] = issue;
+                PyObject *r = PyObject_CallNoArgs(cb_load);
+                if (r == NULL)
+                    goto done;
+                Py_DECREF(r);
+                complete = comm[B_OUT0];
+                int64_t aflags = (int64_t)comm[B_OUT1];
+                counters[C_L1D_ACC]++;
+                if (aflags & 1) {
+                    counters[C_L1D_MISS]++;
+                    if (aflags & 2)
+                        counters[C_L2_MISS]++;
+                }
+                if (aflags & 4)
+                    counters[C_DRAM]++;
+            } else {
+                complete = issue + 1.0;
+            }
+        } else {
+            double latency = lat[i];
+            double issue;
+            if (f & F_FP)
+                issue = heap_reserve(fp_heap, (int)num_fp, ready, latency);
+            else
+                issue = heap_reserve(int_heap, (int)num_int, ready, 1.0);
+            complete = issue + latency;
+        }
+
+        if (mode >= 2) {
+            counters[C_VP_USED]++;
+            if (mode == 2) {
+                if (f & F_WRITES)
+                    reg_ready[dst[i]] = dispatch_time + 1.0;
+            } else {
+                counters[C_VP_MISS]++;
+                complete += vmp;
+                if (f & F_WRITES)
+                    reg_ready[dst[i]] = complete;
+            }
+        } else {
+            if (f & F_WRITES)
+                reg_ready[dst[i]] = mode == 1 ? dispatch_time + 1.0 : complete;
+        }
+
+        if (executed)
+            counters[C_EXECUTED]++;
+
+        /* ---------------- control flow ---------------- */
+        if ((f & F_CONTROL) && ctrl_native) {
+            /* Native transcription of OutOfOrderCore._handle_control;
+             * Python is re-entered only for the rare events that touch
+             * model state it owns (hint-mispredict hooks, wrong-path
+             * cache pollution on a redirect). */
+            double redirect = 0.0;
+            int have_redirect = 0;
+            int64_t pc_ = pc[i];
+            int tk = (f & F_TAKEN) != 0;
+            if (f & F_BRANCH) {
+                counters[C_BRANCHES]++;
+                if (hint_present) {
+                    if (hint_correct) {
+                        if (tk && !hint_has_target && !btb_contains(&btb, pc_)) {
+                            counters[C_BTB_MISS]++;
+                            redirect = fetch_time + 3.0;
+                            have_redirect = 1;
+                        }
+                    } else {
+                        counters[C_BR_MISPRED]++;
+                        counters[C_HINT_MISPRED]++;
+                        if (cb_hint_miss != NULL) {
+                            comm[B_I] = (double)i;
+                            comm[B_T0] = complete;
+                            PyObject *r = PyObject_CallNoArgs(cb_hint_miss);
+                            if (r == NULL)
+                                goto done;
+                            Py_DECREF(r);
+                        }
+                        redirect = complete + bmp;
+                        have_redirect = 1;
+                    }
+                } else {
+                    int predicted = tage_predict_update(&tg, pc_, tk);
+                    if (predicted != tk) {
+                        counters[C_BR_MISPRED]++;
+                        redirect = complete + bmp;
+                        have_redirect = 1;
+                    } else if (tk) {
+                        if (!btb_contains(&btb, pc_)) {
+                            counters[C_BTB_MISS]++;
+                            btb_update(&btb, pc_, nxt[i], (int64_t)complete);
+                            redirect = fetch_time + 3.0;
+                            have_redirect = 1;
+                        } else {
+                            btb_update(&btb, pc_, nxt[i], (int64_t)complete);
+                        }
+                    }
+                }
+            } else if (f & F_CALL) {
+                ras_push(&ras, pc_ + 1);
+                if (!btb_contains(&btb, pc_)) {
+                    counters[C_BTB_MISS]++;
+                    btb_update(&btb, pc_, nxt[i], (int64_t)complete);
+                    redirect = fetch_time + 3.0;
+                    have_redirect = 1;
+                }
+            } else if (f & F_RET) {
+                int64_t predicted_target = 0;
+                int have = ras_pop(&ras, &predicted_target);
+                if (!have || predicted_target != nxt[i]) {
+                    counters[C_BR_MISPRED]++;
+                    redirect = complete + bmp;
+                    have_redirect = 1;
+                }
+            } else {
+                if (!btb_contains(&btb, pc_)) {
+                    counters[C_BTB_MISS]++;
+                    btb_update(&btb, pc_, nxt[i], (int64_t)complete);
+                    redirect = fetch_time + 2.0;
+                    have_redirect = 1;
+                }
+            }
+            if (have_redirect) {
+                if (redirect > fetch_redirect_at)
+                    fetch_redirect_at = redirect;
+                if (cb_redirect != NULL) {
+                    comm[B_I] = (double)i;
+                    comm[B_T0] = fetch_time;
+                    PyObject *r = PyObject_CallNoArgs(cb_redirect);
+                    if (r == NULL)
+                        goto done;
+                    Py_DECREF(r);
+                }
+            }
+        } else if (f & F_CONTROL) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = fetch_time;
+            comm[B_T1] = complete;
+            PyObject *r = PyObject_CallNoArgs(cb_control);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+            double redirect = comm[B_OUT0];
+            if (!isnan(redirect) && redirect > fetch_redirect_at)
+                fetch_redirect_at = redirect;
+        }
+
+        /* ---------------- commit ---------------- */
+        double commit_time = prev_commit + commit_inc;
+        if (complete > commit_time)
+            commit_time = complete;
+        commit_times[i] = commit_time;
+        prev_commit = commit_time;
+        counters[C_COMMITTED]++;
+
+        if (f & F_STORE) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = commit_time;
+            PyObject *r = PyObject_CallNoArgs(cb_store);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+            int64_t aflags = (int64_t)comm[B_OUT1];
+            counters[C_L1D_ACC]++;
+            if (aflags & 1) {
+                counters[C_L1D_MISS]++;
+                if (aflags & 2)
+                    counters[C_L2_MISS]++;
+            }
+            if (aflags & 4)
+                counters[C_DRAM]++;
+        }
+
+        if (cb_on_commit != NULL &&
+            (!commit_filter || (f & commit_mask) ||
+             (n_commit_pcs && in_sorted(commit_pcs, n_commit_pcs, pc[i])))) {
+            comm[B_I] = (double)i;
+            comm[B_T0] = commit_time;
+            PyObject *r = PyObject_CallNoArgs(cb_on_commit);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+        }
+    }
+
+    counters[C_FETCH_BOUND] = fetch_bound;
+    counters[C_TICKS] = n;
+
+    /* ---------------- fetch-queue histogram ---------------- */
+    for (int64_t i = 0; i < n; i += hist_sample) {
+        double x = dispatch_times[i];
+        int64_t lo = i, hi = n;
+        while (lo < hi) {
+            int64_t mid = (lo + hi) / 2;
+            if (x < fetch_times[mid])
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        int64_t occupancy = lo - i - 1;
+        if (occupancy < 0)
+            occupancy = 0;
+        if (occupancy > hist_capacity)
+            occupancy = hist_capacity;
+        hist[occupancy]++;
+    }
+
+    ret = Py_NewRef(Py_None);
+done:
+    PyMem_Free(int_heap);
+    PyMem_Free(mem_heap);
+    PyMem_Free(fp_heap);
+    PyMem_Free(reg_ready);
+    PyMem_Free(lsq_ring);
+    PyMem_Free(validated);
+    if (v_sbd.obj) PyBuffer_Release(&v_sbd);
+    if (v_seq.obj) PyBuffer_Release(&v_seq);
+    if (v_pc.obj) PyBuffer_Release(&v_pc);
+    if (v_vt.obj) PyBuffer_Release(&v_vt);
+    if (v_cpc.obj) PyBuffer_Release(&v_cpc);
+    if (v_ba.obj) PyBuffer_Release(&v_ba);
+    if (v_flags.obj) PyBuffer_Release(&v_flags);
+    if (v_ea.obj) PyBuffer_Release(&v_ea);
+    if (v_lat.obj) PyBuffer_Release(&v_lat);
+    if (v_dst.obj) PyBuffer_Release(&v_dst);
+    if (v_srcs.obj) PyBuffer_Release(&v_srcs);
+    if (v_soff.obj) PyBuffer_Release(&v_soff);
+    if (v_ft.obj) PyBuffer_Release(&v_ft);
+    if (v_dt.obj) PyBuffer_Release(&v_dt);
+    if (v_ct.obj) PyBuffer_Release(&v_ct);
+    if (v_cnt.obj) PyBuffer_Release(&v_cnt);
+    if (v_hist.obj) PyBuffer_Release(&v_hist);
+    if (v_comm.obj) PyBuffer_Release(&v_comm);
+    if (v_nxt.obj) PyBuffer_Release(&v_nxt);
+    if (v_tb.obj) PyBuffer_Release(&v_tb);
+    if (v_tp.obj) PyBuffer_Release(&v_tp);
+    if (v_tt.obj) PyBuffer_Release(&v_tt);
+    if (v_tc.obj) PyBuffer_Release(&v_tc);
+    if (v_tu.obj) PyBuffer_Release(&v_tu);
+    if (v_th.obj) PyBuffer_Release(&v_th);
+    if (v_tm.obj) PyBuffer_Release(&v_tm);
+    if (v_bt.obj) PyBuffer_Release(&v_bt);
+    if (v_bg.obj) PyBuffer_Release(&v_bg);
+    if (v_bu.obj) PyBuffer_Release(&v_bu);
+    if (v_bc.obj) PyBuffer_Release(&v_bc);
+    if (v_rs.obj) PyBuffer_Release(&v_rs);
+    if (v_rt.obj) PyBuffer_Release(&v_rt);
+    return ret;
+}
+
+/* ------------------------------------------------------------------ */
+/* Trace decoding: the flattening loop of repro.core.compile.decoded.   */
+/*                                                                      */
+/* Semantically identical to the Python loop in decode_trace(): per     */
+/* entry, resolve the per-StaticInst row from the id-keyed memo (the    */
+/* callback decodes + retains on miss and returns the row tuple), then  */
+/* fill the flat arrays.  Returns a tuple of bytes objects the Python   */
+/* side wraps into array('q')/array('d') buffers.                       */
+/* ------------------------------------------------------------------ */
+static PyObject *
+decode_trace_flat(PyObject *self, PyObject *args)
+{
+    PyObject *entries, *rows, *decode_cb;
+    if (!PyArg_ParseTuple(args, "O!O!O", &PyList_Type, &entries,
+                          &PyDict_Type, &rows, &decode_cb))
+        return NULL;
+
+    Py_ssize_t n = PyList_GET_SIZE(entries);
+    int64_t *ba = NULL, *flags = NULL, *ea = NULL, *dst = NULL;
+    int64_t *sb_dst = NULL, *seq = NULL, *pcs = NULL, *nxt = NULL;
+    int64_t *srcs = NULL, *srcs_off = NULL;
+    double *lat = NULL;
+    PyObject *ret = NULL;
+    PyObject *s_static = NULL, *s_taken = NULL, *s_ea = NULL;
+    PyObject *s_next_pc = NULL, *s_seq = NULL;
+    Py_ssize_t srcs_len = 0, srcs_cap = 0;
+    int64_t max_reg = 0;
+
+    ba = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    flags = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    ea = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    dst = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    sb_dst = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    seq = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    pcs = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    nxt = (int64_t *)calloc(n ? n : 1, sizeof(int64_t));
+    srcs_off = (int64_t *)calloc(n + 1, sizeof(int64_t));
+    lat = (double *)calloc(n ? n : 1, sizeof(double));
+    if (!ba || !flags || !ea || !dst || !sb_dst || !seq || !pcs || !nxt ||
+        !srcs_off || !lat) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    s_static = PyUnicode_InternFromString("static");
+    s_taken = PyUnicode_InternFromString("taken");
+    s_ea = PyUnicode_InternFromString("effective_address");
+    s_next_pc = PyUnicode_InternFromString("next_pc");
+    s_seq = PyUnicode_InternFromString("seq");
+    if (!s_static || !s_taken || !s_ea || !s_next_pc || !s_seq)
+        goto done;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *entry = PyList_GET_ITEM(entries, i);
+        PyObject *st = PyObject_GetAttr(entry, s_static);
+        if (st == NULL)
+            goto done;
+        PyObject *key = PyLong_FromVoidPtr((void *)st);
+        if (key == NULL) { Py_DECREF(st); goto done; }
+        PyObject *row = PyDict_GetItemWithError(rows, key);  /* borrowed */
+        Py_DECREF(key);
+        PyObject *row_owned = NULL;
+        if (row == NULL) {
+            if (PyErr_Occurred()) { Py_DECREF(st); goto done; }
+            row_owned = PyObject_CallFunctionObjArgs(decode_cb, st, NULL);
+            Py_DECREF(st);
+            if (row_owned == NULL)
+                goto done;
+            row = row_owned;
+        } else {
+            Py_DECREF(st);
+        }
+        if (!PyTuple_Check(row) || PyTuple_GET_SIZE(row) != 8) {
+            Py_XDECREF(row_owned);
+            PyErr_SetString(PyExc_TypeError, "bad decoded static row");
+            goto done;
+        }
+        int err = 0;
+        ba[i] = PyLong_AsLongLong(PyTuple_GET_ITEM(row, 0));
+        int64_t packed = PyLong_AsLongLong(PyTuple_GET_ITEM(row, 1));
+        lat[i] = PyFloat_AsDouble(PyTuple_GET_ITEM(row, 2));
+        dst[i] = PyLong_AsLongLong(PyTuple_GET_ITEM(row, 3));
+        sb_dst[i] = PyLong_AsLongLong(PyTuple_GET_ITEM(row, 4));
+        PyObject *row_srcs = PyTuple_GET_ITEM(row, 5);
+        pcs[i] = PyLong_AsLongLong(PyTuple_GET_ITEM(row, 6));
+        int64_t row_max = PyLong_AsLongLong(PyTuple_GET_ITEM(row, 7));
+        if (PyErr_Occurred()) err = 1;
+
+        PyObject *taken = err ? NULL : PyObject_GetAttr(entry, s_taken);
+        if (taken == NULL) { Py_XDECREF(row_owned); goto done; }
+        int truth = PyObject_IsTrue(taken);
+        Py_DECREF(taken);
+        if (truth < 0) { Py_XDECREF(row_owned); goto done; }
+        flags[i] = packed | (truth ? F_TAKEN : 0);
+        if (row_max > max_reg)
+            max_reg = row_max;
+
+        PyObject *addr = PyObject_GetAttr(entry, s_ea);
+        if (addr == NULL) { Py_XDECREF(row_owned); goto done; }
+        if (addr != Py_None)
+            ea[i] = PyLong_AsLongLong(addr);
+        Py_DECREF(addr);
+
+        PyObject *npc = PyObject_GetAttr(entry, s_next_pc);
+        if (npc == NULL) { Py_XDECREF(row_owned); goto done; }
+        nxt[i] = PyLong_AsLongLong(npc);
+        Py_DECREF(npc);
+
+        PyObject *sq = PyObject_GetAttr(entry, s_seq);
+        if (sq == NULL) { Py_XDECREF(row_owned); goto done; }
+        seq[i] = (sq == Py_None) ? -1 : PyLong_AsLongLong(sq);
+        Py_DECREF(sq);
+
+        srcs_off[i] = srcs_len;
+        if (PyTuple_Check(row_srcs)) {
+            Py_ssize_t ns = PyTuple_GET_SIZE(row_srcs);
+            if (srcs_len + ns > srcs_cap) {
+                Py_ssize_t want = srcs_cap ? srcs_cap * 2 : 256;
+                while (want < srcs_len + ns)
+                    want *= 2;
+                int64_t *grown = (int64_t *)realloc(srcs, want * sizeof(int64_t));
+                if (grown == NULL) {
+                    Py_XDECREF(row_owned);
+                    PyErr_NoMemory();
+                    goto done;
+                }
+                srcs = grown;
+                srcs_cap = want;
+            }
+            for (Py_ssize_t k = 0; k < ns; k++)
+                srcs[srcs_len++] = PyLong_AsLongLong(PyTuple_GET_ITEM(row_srcs, k));
+        }
+        Py_XDECREF(row_owned);
+        if (PyErr_Occurred() || err)
+            goto done;
+    }
+    srcs_off[n] = srcs_len;
+    if (srcs_len == 0) {
+        /* keep the buffer non-empty for PyObject_GetBuffer */
+        if (srcs == NULL)
+            srcs = (int64_t *)calloc(1, sizeof(int64_t));
+        if (srcs == NULL) { PyErr_NoMemory(); goto done; }
+        srcs[0] = 0;
+        srcs_len = 1;
+    }
+
+    ret = Py_BuildValue(
+        "(y#y#y#y#y#y#y#y#y#y#y#L)",
+        (char *)ba, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)flags, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)ea, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)lat, (Py_ssize_t)(n * sizeof(double)),
+        (char *)dst, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)sb_dst, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)srcs, (Py_ssize_t)(srcs_len * sizeof(int64_t)),
+        (char *)srcs_off, (Py_ssize_t)((n + 1) * sizeof(int64_t)),
+        (char *)seq, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)pcs, (Py_ssize_t)(n * sizeof(int64_t)),
+        (char *)nxt, (Py_ssize_t)(n * sizeof(int64_t)),
+        (long long)(max_reg + 1));
+
+done:
+    free(ba); free(flags); free(ea); free(dst); free(sb_dst);
+    free(seq); free(pcs); free(nxt); free(srcs); free(srcs_off); free(lat);
+    Py_XDECREF(s_static); Py_XDECREF(s_taken); Py_XDECREF(s_ea);
+    Py_XDECREF(s_next_pc); Py_XDECREF(s_seq);
+    return ret;
+}
+
+static PyMethodDef methods[] = {
+    {"run_tick_loop", run_tick_loop, METH_VARARGS,
+     "Run the compiled per-instruction tick loop over a decoded trace."},
+    {"decode_trace_flat", decode_trace_flat, METH_VARARGS,
+     "Flatten a trace window into typed buffers (decode_trace fast path)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT, "_repro_fastcore", NULL, -1, methods,
+};
+
+PyMODINIT_FUNC
+PyInit__repro_fastcore(void)
+{
+    return PyModule_Create(&moduledef);
+}

@@ -1,0 +1,65 @@
+"""Specialization planning: which compiled variant (if any) fits a run.
+
+The pass pipeline is deliberately small: ``plan_run`` resolves every
+run-invariant decision once — which hook callbacks the kernel must fire,
+whether the memory callbacks can use the tuple-returning fast accessors or
+must construct real :class:`AccessResult` objects (an ``on_memory_access``
+hook observes them), and which prefetchers train — so the per-instruction
+loop carries no residual config branches on the Python side.  The plan's
+fingerprint keys in-process caches of anything derived from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SpecializationPlan:
+    """Run-invariant shape of one compiled simulation."""
+
+    has_branch_hint: bool
+    has_value_hint: bool
+    has_on_commit: bool
+    has_on_fetch: bool
+    has_on_memory: bool
+    has_l1_prefetcher: bool
+    has_l2_prefetcher: bool
+    #: Tuple-returning accessors are only sound when no hook inspects the
+    #: AccessResult objects.
+    use_fast_access: bool
+
+    @property
+    def fingerprint(self) -> int:
+        bits = 0
+        for shift, flag in enumerate((
+            self.has_branch_hint, self.has_value_hint, self.has_on_commit,
+            self.has_on_fetch, self.has_on_memory, self.has_l1_prefetcher,
+            self.has_l2_prefetcher, self.use_fast_access,
+        )):
+            if flag:
+                bits |= 1 << shift
+        return bits
+
+
+def plan_run(core, hooks, collect_timings: bool) -> Optional[SpecializationPlan]:
+    """Build the plan for one run, or ``None`` when ineligible.
+
+    Only per-instruction timing collection forces the reference
+    interpreter: it materialises an :class:`InstructionTiming` per entry,
+    which would erase the compiled loop's advantage anyway.
+    """
+    if collect_timings:
+        return None
+    has_on_memory = hooks.on_memory_access is not None
+    return SpecializationPlan(
+        has_branch_hint=hooks.branch_hint is not None,
+        has_value_hint=hooks.value_hint is not None,
+        has_on_commit=hooks.on_commit is not None,
+        has_on_fetch=hooks.on_fetch is not None,
+        has_on_memory=has_on_memory,
+        has_l1_prefetcher=core.l1_prefetcher is not None,
+        has_l2_prefetcher=core.l2_prefetcher is not None,
+        use_fast_access=not has_on_memory,
+    )

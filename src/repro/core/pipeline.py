@@ -70,6 +70,10 @@ class CoreHooks:
     on_hint_mispredict: Optional[Callable[[DynamicInst, float], None]] = None
     #: Called after every data-memory access with (inst, access_result, cycle).
     on_memory_access: Optional[Callable[[DynamicInst, object, float], None]] = None
+    #: Optional :class:`repro.core.compile.hookspec.CompiledHookSpec` letting
+    #: the compiled kernel skip hook calls it can prove are no-ops.  The
+    #: reference interpreter ignores it entirely.
+    fast_hints: Optional[object] = None
 
 
 class _FunctionalUnitPool:
@@ -143,6 +147,14 @@ class OutOfOrderCore:
         """
         cfg = self.config
         hooks = hooks or CoreHooks()
+
+        from repro.core.compile import maybe_run_compiled
+
+        compiled = maybe_run_compiled(self, entries, hooks, start_cycle,
+                                      collect_timings)
+        if compiled is not None:
+            return compiled
+
         result = CoreResult(name=self.name)
         n = len(entries)
         if n == 0:

@@ -78,9 +78,29 @@ def _replay_warmup(memory: CoreMemorySystem, entries: Sequence[DynamicInst],
     loads, stores and TLB entries — which is all that persists into the timed
     region.
     """
+    from repro.core.compile import fast_pipeline_enabled
+
     cycle = 0
     block = memory.config.l1i.block_bytes
     last_block = None
+    if fast_pipeline_enabled():
+        # Same accesses in the same order, through the tuple-returning fast
+        # accessors: replay only needs the hierarchy's state side effects,
+        # not the AccessResult objects the reference accessor builds.
+        access_inst = memory.access_inst_fast
+        access_data = memory.access_data_fast
+        for entry in entries:
+            static = entry.static
+            address = static.byte_address
+            if address // block != last_block:
+                last_block = address // block
+                access_inst(address, cycle)
+            if static.is_load:
+                access_data(entry.effective_address, cycle, False)
+            elif static.is_store:
+                access_data(entry.effective_address, cycle, True)
+            cycle += cycles_per_access
+        return
     access = memory.access
     acc_inst, acc_load, acc_store = (
         AccessType.INSTRUCTION, AccessType.LOAD, AccessType.STORE

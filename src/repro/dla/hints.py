@@ -19,9 +19,12 @@ behaviour:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.compile.decoded import F_LOAD
+from repro.core.compile.hookspec import CompiledHookSpec
 from repro.core.pipeline import BranchHint, CoreHooks, ValueHint
 from repro.dla.config import DlaConfig
 from repro.dla.queues import (
@@ -127,12 +130,31 @@ class MainThreadHintSource:
         # a per-instruction call for every hook that is ``None``, and a hook
         # that could only ever return ``None`` (no value targets, no T1
         # engine) cannot influence the simulation.
+        #
+        # ``fast_hints`` declares each hook's sparse firing conditions to
+        # the compiled kernel: on_fetch only acts on branches or when a
+        # pending prefetch hint comes due, on_commit only acts on loads
+        # (T1), and value_hint only predicts the look-ahead's value-target
+        # seqs (the validation scoreboard the unsplit hook runs for every
+        # instruction moves into the kernel).  The reference interpreter
+        # ignores the object, and the equivalence suites pin both paths.
+        has_value = bool(self.value_target_pcs)
+        fast = CompiledHookSpec(
+            value_request=self.value_hint_request if has_value else None,
+            value_target_seqs=(
+                tuple(sorted(self._value_times)) if has_value else None
+            ),
+            scoreboard=self.scoreboard,
+            fetch_next_due=self.fetch_next_due,
+            commit_flag_mask=F_LOAD,
+        )
         return CoreHooks(
             branch_hint=self.branch_hint,
-            value_hint=self.value_hint if self.value_target_pcs else None,
+            value_hint=self.value_hint if has_value else None,
             on_commit=self.on_commit if self.t1 is not None else None,
             on_fetch=self.on_fetch,
             on_hint_mispredict=self.on_hint_mispredict,
+            fast_hints=fast,
         )
 
     # -- branch hints ------------------------------------------------------
@@ -203,6 +225,36 @@ class MainThreadHintSource:
             skip_validation=skip and correct,
         )
 
+    def value_hint_request(self, entry: DynamicInst) -> Optional[Tuple[float, bool]]:
+        """Sparse split of :meth:`value_hint` for the compiled kernel.
+
+        Covers the hint-delivery side only — the RNG draw, the SIF disable
+        on a wrong prediction, the FQ traffic.  The validation scoreboard,
+        which :meth:`value_hint` runs for *every* instruction, lives in the
+        kernel; this method is called for exactly the dynamic instructions
+        declared in ``value_target_seqs``.  Returns ``None`` when the entry
+        carries no prediction, else ``(available_cycle, correct)``.
+        """
+        static = entry.static
+        lt_time = self._value_times.get(entry.seq)
+        if (
+            lt_time is None
+            or static.pc not in self.value_target_pcs
+            or static.pc in self._value_disabled_pcs
+        ):
+            return None
+        correct = not self.rng.bernoulli(self.config.value_error_rate)
+        if not correct:
+            self._value_disabled_pcs.add(static.pc)
+        self.fq.produce(
+            FootnoteEntry(
+                kind=FootnoteKind.VALUE_PREDICTION,
+                produce_cycle=lt_time,
+                value=entry.result,
+            )
+        )
+        return lt_time + self.offset, correct
+
     # -- fetch-side activity ----------------------------------------------------
     def on_fetch(self, entry: DynamicInst, fetch_cycle: float) -> None:
         # Install prefetch / TLB hints whose (shifted) production time has
@@ -232,6 +284,19 @@ class MainThreadHintSource:
 
         if entry.static.is_branch:
             self._record_branch_consumption(entry, fetch_cycle)
+
+    def fetch_next_due(self) -> float:
+        """Availability of the next uninstalled prefetch hint (inf if drained).
+
+        The compiled kernel uses this to skip :meth:`on_fetch` for
+        non-branches until fetch reaches the cycle.  A look-ahead reboot can
+        only push availability *later* (the offset never shrinks), so a
+        stale value fires the hook early — a no-op — never late.
+        """
+        hints = self._prefetch_hints
+        if self._prefetch_cursor < len(hints):
+            return hints[self._prefetch_cursor][0] + self.offset
+        return math.inf
 
     def _record_branch_consumption(self, entry: DynamicInst, fetch_cycle: float) -> None:
         ordinal = self._branch_ordinal.get(entry.seq)

@@ -28,6 +28,44 @@ from repro.dla.skeleton import Skeleton, SkeletonBuilder, SkeletonOptions
 from repro.emulator.trace import DynamicInst
 
 
+class _SliceMemo:
+    """Stable identity for repeated slices of the same trace window.
+
+    The planner carves each window into loop units, trial slices, and
+    search samples on *every* ``plan()`` call.  Plain slicing would hand
+    the simulator a brand-new list each time, defeating the id-keyed
+    decoded-trace and filtered-look-ahead memos downstream.  Keying on
+    ``(id(parent), start, stop)`` — with a strong reference to the parent
+    so the id cannot be recycled — returns the same list object for the
+    same logical slice, which is what makes those memos hit.
+    """
+
+    MAX_ENTRIES = 512
+
+    def __init__(self) -> None:
+        self._slices: Dict[Tuple[int, int, int], list] = {}
+        self._parents: Dict[Tuple[int, int, int], object] = {}
+
+    def get(self, entries: Sequence[DynamicInst], start: int, stop: int) -> list:
+        stop = min(stop, len(entries))
+        start = min(start, stop)
+        token = (id(entries), start, stop)
+        hit = self._slices.get(token)
+        if hit is not None:
+            return hit
+        out = list(entries[start:stop])
+        while len(self._slices) >= self.MAX_ENTRIES:
+            victim = next(iter(self._slices))
+            del self._slices[victim]
+            self._parents.pop(victim, None)
+        self._slices[token] = out
+        self._parents[token] = entries
+        return out
+
+
+_SLICES = _SliceMemo()
+
+
 def build_skeleton_versions(builder: SkeletonBuilder, enable_t1: bool = True,
                             include_value_targets: bool = True) -> List[Skeleton]:
     """The six skeleton versions cycled through by the recycle controller."""
@@ -194,7 +232,8 @@ class RecycleController:
         samples workloads, which is what keeps ``--full`` segmented cells
         from dominating campaign wall time.
         """
-        entries = list(entries)
+        if not isinstance(entries, list):
+            entries = list(entries)
         units = self.segment_into_loop_units(entries)
         searchable: Optional[set] = None
         if search_unit_limit is not None:
@@ -226,7 +265,7 @@ class RecycleController:
         total_instructions = float(len(entries))
 
         for unit in units:
-            unit_entries = entries[unit.start:unit.end]
+            unit_entries = _SLICES.get(entries, unit.start, unit.end)
             sampled = searchable is None or unit.loop_pc in searchable
             cached = self.lct.lookup(unit.loop_pc)
             if cached is not None:
@@ -247,13 +286,13 @@ class RecycleController:
                 trial = self.config.recycle_trial_instructions
                 cursor = 0
                 for version_index, skeleton in enumerate(self.versions):
-                    slice_entries = unit_entries[cursor:cursor + trial]
+                    slice_entries = _SLICES.get(unit_entries, cursor, cursor + trial)
                     if not slice_entries:
                         break
                     segments.append((slice_entries, skeleton))
                     weights[version_index] = weights.get(version_index, 0.0) + len(slice_entries)
                     cursor += trial
-                remainder = unit_entries[cursor:]
+                remainder = _SLICES.get(unit_entries, cursor, len(unit_entries))
                 if remainder:
                     segments.append((remainder, self.versions[best]))
                     weights[best] = weights.get(best, 0.0) + len(remainder)
@@ -276,7 +315,7 @@ class RecycleController:
     def _search_best(self, dla_system, unit_entries: Sequence[DynamicInst],
                      sample_length: int) -> int:
         """Try every version on a sample of the unit; return the fastest."""
-        sample = list(unit_entries[:sample_length])
+        sample = _SLICES.get(unit_entries, 0, sample_length)
         if not sample:
             return 0
         best_index, best_cycles = 0, float("inf")

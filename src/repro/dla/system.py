@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.compile.decoded import F_BRANCH
+from repro.core.compile.hookspec import CompiledHookSpec
 from repro.core.config import SystemConfig
 from repro.core.energy import EnergyBreakdown, EnergyModel
 from repro.core.pipeline import CoreHooks, OutOfOrderCore
@@ -47,6 +49,45 @@ from repro.isa.program import Program
 from repro.memory.hierarchy import CoreMemorySystem, SharedMemorySystem
 from repro.prefetch import make_prefetcher
 from repro.util.rng import DeterministicRng
+
+
+class _FilteredTraceCache:
+    """Bounded memo of skeleton-filtered look-ahead windows.
+
+    The recycle controller and the figure sweeps simulate one trace window
+    under many skeletons, and each skeleton many times; the filtered
+    look-ahead entry list for a ``(window, included_pcs)`` pair is identical
+    every time.  Reusing one list object per pair also keeps its identity
+    stable, which is what lets the compiled pipeline's id-keyed decoded-
+    trace memo hit instead of re-decoding a fresh one-shot list per run.
+    Strong references to the source windows are retained so ids can never
+    be recycled.
+    """
+
+    MAX_ENTRIES = 256
+
+    def __init__(self) -> None:
+        self._filtered: Dict[Tuple[int, frozenset], List[DynamicInst]] = {}
+        self._retained: Dict[Tuple[int, frozenset], Sequence[DynamicInst]] = {}
+
+    def get(self, entries: Sequence[DynamicInst],
+            included_pcs: frozenset) -> List[DynamicInst]:
+        token = (id(entries), included_pcs)
+        hit = self._filtered.get(token)
+        if hit is not None:
+            return hit
+        filtered = [e for e in entries if e.static.pc in included_pcs]
+        while len(self._filtered) >= self.MAX_ENTRIES:
+            victim = next(iter(self._filtered))
+            del self._filtered[victim]
+            del self._retained[victim]
+        self._filtered[token] = filtered
+        self._retained[token] = entries
+        return filtered
+
+
+#: Process-wide: windows and skeletons are shared across DlaSystem instances.
+_FILTERED = _FilteredTraceCache()
 
 
 @dataclass
@@ -142,7 +183,15 @@ class DlaSystem:
         ``warmup_entries`` are replayed through both cores' private caches
         (and therefore the shared L3) before the timed region begins.
         """
-        entries = trace.entries if isinstance(trace, Trace) else list(trace)
+        if isinstance(trace, Trace):
+            entries = trace.entries
+        elif isinstance(trace, list):
+            # Keep the caller's list identity: the run never mutates entries
+            # (see ``_main_pass``), and a stable id is what lets the decoded
+            # trace and filtered look-ahead memos hit on repeat simulations.
+            entries = trace
+        else:
+            entries = list(trace)
         skeleton = skeleton or self.default_skeleton()
         state = self._fresh_state()
         if warmup_entries:
@@ -170,7 +219,8 @@ class DlaSystem:
         all_entries: List[DynamicInst] = []
         last_skeleton = plan[-1][1]
         for entries, skeleton in plan:
-            entries = list(entries)
+            if not isinstance(entries, list):
+                entries = list(entries)
             all_entries.extend(entries)
             segments.append(self._run_segment(state, entries, skeleton))
         return self._finalize(state, segments, all_entries, last_skeleton)
@@ -279,10 +329,18 @@ class DlaSystem:
             if entry.static.is_load and access.l1_miss:
                 products.prefetch_hints.append((cycle, entry.effective_address))
 
-        included = skeleton.included_pcs
-        lt_entries = [e for e in entries if e.static.pc in included]
+        lt_entries = _FILTERED.get(entries, skeleton.included_pcs)
         state.lt_dynamic_instructions += len(lt_entries)
-        hooks = CoreHooks(on_commit=on_commit, on_memory_access=on_memory_access)
+        # The commit hook only acts on branches and value-target PCs; the
+        # compiled kernel may skip it everywhere else.
+        hooks = CoreHooks(
+            on_commit=on_commit,
+            on_memory_access=on_memory_access,
+            fast_hints=CompiledHookSpec(
+                commit_flag_mask=F_BRANCH,
+                commit_pcs=tuple(sorted(value_targets)),
+            ),
+        )
         result = state.lt_core.run(lt_entries, hooks=hooks, start_cycle=state.lt_clock)
         products.prefetch_hints.sort(key=lambda item: item[0])
         products.lt_cycles = result.cycles
@@ -313,7 +371,10 @@ class DlaSystem:
             rng=state.rng,
         )
         state.mt_dynamic_instructions += len(entries)
-        result = state.mt_core.run(list(entries), hooks=hint_source.hooks(),
+        # No defensive copy: ``run`` never mutates its entries, and a stable
+        # list identity is what lets the decoded-trace memo hit when the
+        # same window is simulated under several configurations.
+        result = state.mt_core.run(entries, hooks=hint_source.hooks(),
                                    start_cycle=state.mt_clock)
         return result, hint_source
 

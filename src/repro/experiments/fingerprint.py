@@ -80,7 +80,8 @@ def code_salt() -> str:
 
         root = Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
+        sources = sorted(root.rglob("*.py")) + sorted(root.rglob("*.c"))
+        for path in sources:
             digest.update(path.relative_to(root).as_posix().encode("utf-8"))
             digest.update(path.read_bytes())
         _CODE_SALT = digest.hexdigest()[:16]

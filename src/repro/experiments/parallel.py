@@ -296,6 +296,14 @@ class ParallelExperimentRunner(ExperimentRunner):
 
         import multiprocessing
 
+        from repro.core.compile.build import load_kernel
+
+        # Build/load the compiled tick kernel once before fanning out:
+        # forked workers inherit the loaded module, spawned workers find the
+        # cached artifact on disk — either way no worker pays (or races) the
+        # C compile inside its measured simulation time.
+        load_kernel()
+
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
@@ -364,6 +372,11 @@ class ParallelExperimentRunner(ExperimentRunner):
             return self.stats.simulations - simulations_before, failures
 
         import multiprocessing
+
+        from repro.core.compile.build import load_kernel
+
+        # Same pre-fork kernel build as :meth:`warm` (see there).
+        load_kernel()
 
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"

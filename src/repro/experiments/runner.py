@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.compile import compiled_ticks_total
 from repro.core.config import SystemConfig
 from repro.core.system import SimulationOutcome, simulate_baseline
 from repro.dla.config import DlaConfig
@@ -112,6 +113,9 @@ class RunnerStats:
     #: Memory-backend contention stall cycles (sum of every ``stall_cycles``
     #: leaf in the ``memsys`` telemetry) across executed simulations.
     contention_stall_cycles: float = 0.0
+    #: Instructions retired through the compiled tick kernel during executed
+    #: simulations (0 when ``REPRO_FAST_PIPELINE=0`` or no C compiler).
+    compiled_ticks: int = 0
 
     @property
     def instructions_per_second(self) -> float:
@@ -138,6 +142,7 @@ class RunnerStats:
             "simulated_cycles": round(self.simulated_cycles, 1),
             "contention_stall_cycles": round(self.contention_stall_cycles, 1),
             "contention_stall_share": round(self.contention_stall_share, 6),
+            "compiled_ticks": self.compiled_ticks,
         }
 
     def merge(self, other: "RunnerStats") -> None:
@@ -149,6 +154,7 @@ class RunnerStats:
         self.disk_hits += other.disk_hits
         self.simulated_cycles += other.simulated_cycles
         self.contention_stall_cycles += other.contention_stall_cycles
+        self.compiled_ticks += other.compiled_ticks
 
     def since(self, snapshot: "RunnerStats") -> "RunnerStats":
         """The delta accumulated after ``snapshot`` was taken (via ``copy``)."""
@@ -165,10 +171,41 @@ class RunnerStats:
             contention_stall_cycles=(
                 self.contention_stall_cycles - snapshot.contention_stall_cycles
             ),
+            compiled_ticks=self.compiled_ticks - snapshot.compiled_ticks,
         )
 
     def copy(self) -> "RunnerStats":
         return replace(self)
+
+
+#: Process-wide memo of prepared workload setups, keyed by the content
+#: fingerprint of (workload definition, window, system config).  Every
+#: runner in a process materialising the same campaign cell shares one
+#: :class:`WorkloadSetup` — and because the shared object keeps the *same*
+#: ``timed``/``warmup`` list identities, the id-keyed warmed-memory and
+#: decoded-trace memos hit across runners too.  Bounded FIFO.
+_SETUP_CACHE: Dict[str, WorkloadSetup] = {}
+_SETUP_CACHE_MAX = 64
+
+_setup_cache_stats = {"builds": 0, "memory_hits": 0, "disk_hits": 0}
+
+
+def setup_cache_stats() -> Dict[str, int]:
+    """Build/hit counters of the process-wide workload-setup memo."""
+    return dict(_setup_cache_stats)
+
+
+def clear_setup_cache() -> None:
+    """Drop every memoized setup (testing hook)."""
+    _SETUP_CACHE.clear()
+    for key in _setup_cache_stats:
+        _setup_cache_stats[key] = 0
+
+
+def _setup_cache_put(key: str, setup: WorkloadSetup) -> None:
+    while len(_SETUP_CACHE) >= _SETUP_CACHE_MAX:
+        del _SETUP_CACHE[next(iter(_SETUP_CACHE))]
+    _SETUP_CACHE[key] = setup
 
 
 def _stall_cycles_total(memsys) -> float:
@@ -221,6 +258,7 @@ class ExperimentRunner:
             ResultDiskCache() if disk_cache else None
         )
         self._setups: Dict[str, WorkloadSetup] = {}
+        self._compiled_mark = 0
         self._baseline_cache: Dict[str, SimulationOutcome] = {}
         self._dla_cache: Dict[str, DlaOutcome] = {}
         self._segmented_cache: Dict[str, SegmentedOutcome] = {}
@@ -306,28 +344,69 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # setups
     # ------------------------------------------------------------------
+    def setup_key(self, workload: Workload) -> str:
+        """Content key of one prepared setup (workload, window, config)."""
+        return fingerprint(
+            "workload-setup",
+            workload,
+            (self.warmup_instructions, self.timed_instructions),
+            fingerprint(self.system_config),
+        )
+
     def setup(self, name: str) -> WorkloadSetup:
-        """Prepare (and cache) one workload's program, trace and profile."""
+        """Prepare (and cache) one workload's program, trace and profile.
+
+        Materialisation is O(1) after the first build of a cell: setups are
+        memoized process-wide by content fingerprint (and spilled to the
+        disk cache when one is enabled), so only the first runner to touch a
+        (workload, window, config) cell pays for emulation and profiling.
+        """
         if name in self._setups:
             return self._setups[name]
         started = time.perf_counter()
         workload = get_workload(name)
-        program = workload.build_program()
-        total = self.warmup_instructions + self.timed_instructions
-        trace = workload.trace(total + 1000)
-        warmup = trace.entries[: self.warmup_instructions]
-        timed = trace.entries[
-            self.warmup_instructions: self.warmup_instructions + self.timed_instructions
-        ]
-        profile = profile_workload(
-            program,
-            trace.window(0, min(len(trace), self.warmup_instructions + 4000)),
-            self.system_config,
-            timing_window=min(6000, self.warmup_instructions),
-        )
-        setup = WorkloadSetup(
-            workload=workload, program=program, warmup=warmup, timed=timed, profile=profile
-        )
+        key = self.setup_key(workload)
+        setup = _SETUP_CACHE.get(key)
+        if setup is None and self.disk_cache is not None:
+            stored = self.disk_cache.get(self._disk_key(key))
+            if stored is not None:
+                program, warmup, timed, profile = stored
+                setup = WorkloadSetup(
+                    workload=workload, program=program,
+                    warmup=warmup, timed=timed, profile=profile,
+                )
+                _setup_cache_stats["disk_hits"] += 1
+                _setup_cache_put(key, setup)
+        elif setup is not None:
+            _setup_cache_stats["memory_hits"] += 1
+        if setup is None:
+            program = workload.build_program()
+            total = self.warmup_instructions + self.timed_instructions
+            trace = workload.trace(total + 1000)
+            warmup = trace.entries[: self.warmup_instructions]
+            timed = trace.entries[
+                self.warmup_instructions: self.warmup_instructions + self.timed_instructions
+            ]
+            profile = profile_workload(
+                program,
+                trace.window(0, min(len(trace), self.warmup_instructions + 4000)),
+                self.system_config,
+                timing_window=min(6000, self.warmup_instructions),
+            )
+            setup = WorkloadSetup(
+                workload=workload, program=program, warmup=warmup, timed=timed,
+                profile=profile,
+            )
+            _setup_cache_stats["builds"] += 1
+            _setup_cache_put(key, setup)
+            if self.disk_cache is not None:
+                # One pickle holds all four parts, so the object graph the
+                # trace entries share with the program survives the round
+                # trip intact.
+                self.disk_cache.put(
+                    self._disk_key(key),
+                    (setup.program, setup.warmup, setup.timed, setup.profile),
+                )
         self._setups[name] = setup
         self.stats.setup_seconds += time.perf_counter() - started
         return setup
@@ -357,7 +436,7 @@ class ExperimentRunner:
                 self.stats.disk_hits += 1
                 self._baseline_cache[key] = stored
                 return stored
-        started = time.perf_counter()
+        started = self._begin_simulation()
         outcome = simulate_baseline(
             setup.timed,
             config or self.system_config,
@@ -388,7 +467,7 @@ class ExperimentRunner:
                 self.stats.disk_hits += 1
                 self._dla_cache[key] = stored
                 return stored
-        started = time.perf_counter()
+        started = self._begin_simulation()
         system = DlaSystem(
             setup.program,
             config or self.system_config,
@@ -430,7 +509,7 @@ class ExperimentRunner:
                 return stored
         from repro.dla.recycle import RecycleController, build_skeleton_versions
 
-        started = time.perf_counter()
+        started = self._begin_simulation()
         system = DlaSystem(
             setup.program,
             config or self.system_config,
@@ -488,7 +567,7 @@ class ExperimentRunner:
                 self.stats.disk_hits += 1
                 self._aux_cache[key] = stored
                 return stored
-        started = time.perf_counter()
+        started = self._begin_simulation()
         outcome = simulate()
         if isinstance(outcome, SimulationOutcome):
             committed = outcome.core.committed
@@ -515,6 +594,11 @@ class ExperimentRunner:
             self.disk_cache.put(self._disk_key(key), payload)
         return outcome
 
+    def _begin_simulation(self) -> float:
+        """Mark the start of one executed simulation (wall clock + ticks)."""
+        self._compiled_mark = compiled_ticks_total()
+        return time.perf_counter()
+
     def _record_simulation(self, started: float, committed: int,
                            cycles: float = 0.0,
                            stall_cycles: float = 0.0) -> None:
@@ -523,6 +607,7 @@ class ExperimentRunner:
         self.stats.simulation_seconds += time.perf_counter() - started
         self.stats.simulated_cycles += float(cycles)
         self.stats.contention_stall_cycles += float(stall_cycles)
+        self.stats.compiled_ticks += compiled_ticks_total() - self._compiled_mark
 
     # ------------------------------------------------------------------
     # cache injection (used by the parallel runner's deterministic merge)

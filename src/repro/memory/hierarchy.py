@@ -302,6 +302,84 @@ class CoreMemorySystem:
             dram_access=shared_result.dram_access,
         )
 
+    # ------------------------------------------------------------------
+    # fast demand path (compiled tick pipeline)
+    # ------------------------------------------------------------------
+    # The tuple-returning accessors below are exact transcriptions of
+    # :meth:`access` minus the enum dispatch and the AccessResult
+    # construction, for callers that only need the ready cycle and the
+    # miss classification (the compiled tick loop and warm replay).  The
+    # packed info word uses these bits:
+    #
+    #   bit 0  L1 miss
+    #   bit 1  supplied from beyond the L2 (L3 or DRAM)
+    #   bit 2  DRAM access
+    #   bit 3  supplied exactly by the L2
+    #
+    # Any behavioural change to :meth:`access` must land here too; the
+    # golden equivalence suites pin the two paths together bit-for-bit.
+    FAST_L1_MISS = 1
+    FAST_BEYOND_L2 = 2
+    FAST_DRAM = 4
+    FAST_L2_HIT = 8
+
+    def access_data_fast(self, address: int, now: int, is_write: bool):
+        """Demand data access; returns ``(ready_cycle, packed_info)``."""
+        l1 = self.l1d
+        tlb_penalty = self.tlb.access(address, now)
+        ready = l1.lookup(address, now + tlb_penalty, is_write)
+        if ready is not None:
+            return ready, 0
+        issue = now + tlb_penalty + l1.last_miss_stall + l1.config.latency
+        l2_ready = self.l2.lookup(address, issue, is_write)
+        if l2_ready is not None:
+            self._fill_l1(l1, address, l2_ready, is_write, now)
+            ready = l2_ready
+            wb_stall = l1.last_wb_stall
+            if wb_stall:
+                ready = l2_ready + wb_stall
+            return ready, 9  # FAST_L1_MISS | FAST_L2_HIT
+        shared_result = self.shared.access(
+            address, issue + self.l2.last_miss_stall + self.l2.config.latency, is_write
+        )
+        self._fill_l2(address, shared_result.ready_cycle, is_write, now)
+        # Same ordering constraint as :meth:`access`: capture the L2 fill's
+        # back-pressure before the L1 fill can overwrite it.
+        l2_wb_stall = self.l2.last_wb_stall
+        self._fill_l1(l1, address, shared_result.ready_cycle, is_write, now)
+        ready = shared_result.ready_cycle
+        wb_stall = l2_wb_stall + l1.last_wb_stall
+        if wb_stall:
+            ready += wb_stall
+        return ready, 7 if shared_result.dram_access else 3
+
+    def access_inst_fast(self, address: int, now: int):
+        """Instruction-block access; returns ``(ready_cycle, packed_info)``."""
+        l1 = self.l1i
+        ready = l1.lookup(address, now, False)
+        if ready is not None:
+            return ready, 0
+        issue = now + l1.last_miss_stall + l1.config.latency
+        l2_ready = self.l2.lookup(address, issue, False)
+        if l2_ready is not None:
+            self._fill_l1(l1, address, l2_ready, False, now)
+            ready = l2_ready
+            wb_stall = l1.last_wb_stall
+            if wb_stall:
+                ready = l2_ready + wb_stall
+            return ready, 9
+        shared_result = self.shared.access(
+            address, issue + self.l2.last_miss_stall + self.l2.config.latency, False
+        )
+        self._fill_l2(address, shared_result.ready_cycle, False, now)
+        l2_wb_stall = self.l2.last_wb_stall
+        self._fill_l1(l1, address, shared_result.ready_cycle, False, now)
+        ready = shared_result.ready_cycle
+        wb_stall = l2_wb_stall + l1.last_wb_stall
+        if wb_stall:
+            ready += wb_stall
+        return ready, 7 if shared_result.dram_access else 3
+
     def _fill_l1(self, l1: Cache, address: int, fill_time: int, dirty: bool,
                  now: Optional[float] = None) -> None:
         writeback = l1.fill(address, fill_time, dirty=dirty, now=now)

@@ -39,6 +39,7 @@ class Workload:
     description: str = ""
 
     _program: Optional[Program] = field(default=None, repr=False, compare=False)
+    _traces: Dict[int, "Trace"] = field(default_factory=dict, repr=False, compare=False)
 
     def build_program(self) -> Program:
         """Build (and cache) the static program for this workload.
@@ -58,9 +59,23 @@ class Workload:
         return self._program
 
     def trace(self, max_instructions: Optional[int] = None) -> Trace:
-        """Functionally execute the workload and return its dynamic trace."""
+        """Functionally execute the workload and return its dynamic trace.
+
+        Memoized per instruction cap: emulation is deterministic, every
+        consumer treats the trace as read-only, and the workload registry
+        hands out shared instances — so repeated requests for the same
+        window (every runner in a campaign) emulate exactly once.  Stable
+        trace identity is also what lets the decoded-trace and warmed-memory
+        memos hit across runners.
+        """
         limit = max_instructions if max_instructions is not None else self.max_instructions
-        return Emulator(self.build_program()).run(max_instructions=limit)
+        trace = self._traces.get(limit)
+        if trace is None:
+            while len(self._traces) >= 4:
+                del self._traces[next(iter(self._traces))]
+            trace = Emulator(self.build_program()).run(max_instructions=limit)
+            self._traces[limit] = trace
+        return trace
 
 
 def _w(name, suite, kernel, description="", max_instructions=60_000, **params) -> Workload:

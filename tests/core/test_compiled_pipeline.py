@@ -1,0 +1,165 @@
+"""Compiled tick pipeline: specialized-vs-reference equivalence.
+
+The compiled kernel (``repro.core.compile``) is a pure performance change:
+with the fast path enabled, every simulation statistic must be
+*bit-identical* to what the interpreted reference loop in
+:mod:`repro.core.pipeline` produces.  These tests run the same cell twice —
+once with ``REPRO_FAST_PIPELINE=0`` forcing the reference interpreter, once
+with the compiled path — and assert exact equality of the full compared
+field set, for every golden section (``default``/``unbounded``/
+``contended``), for a DLA co-simulation, and for an SMT pair.
+
+The kill-switch is read per run, so the toggle round-trips within one
+process; the ``compiled_ticks`` counter distinguishes a genuinely compiled
+run from a silent interpreter fallback.
+
+The capture helpers are imported from ``test_fast_path_equivalence`` (the
+module the golden regen tool also uses), so the compared field set can
+never drift between the golden pins and these A/B comparisons.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.core.compile import (
+    FAST_PIPELINE_ENV,
+    compiled_ticks_total,
+    fast_pipeline_enabled,
+    kernel_available,
+)
+from repro.dla.config import DlaConfig
+from repro.dla.smt import simulate_smt_modes
+
+_HARNESS_PATH = Path(__file__).resolve().parent / "test_fast_path_equivalence.py"
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "compiled_pipeline_harness", _HARNESS_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_harness = _load_harness()
+
+#: One representative kernel per golden section: a branch-heavy kernel for
+#: the stock machine, a pointer chase for the inert-MSHR machine, and the
+#: store-heavy triad for the contended backend (the only section whose
+#: write-buffer paths a store-free kernel would leave unpinned).
+SECTION_KERNELS = {
+    "default": "branchy",
+    "unbounded": "chase",
+    "contended": "triad",
+}
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return _harness.prepare_kernels()
+
+
+def _reference(monkeypatch):
+    monkeypatch.setenv(FAST_PIPELINE_ENV, "0")
+
+
+def _fast(monkeypatch):
+    monkeypatch.setenv(FAST_PIPELINE_ENV, "1")
+
+
+# ---------------------------------------------------------------------------
+# the kill-switch itself
+# ---------------------------------------------------------------------------
+def test_kill_switch_is_read_per_run(monkeypatch):
+    _reference(monkeypatch)
+    assert not fast_pipeline_enabled()
+    _fast(monkeypatch)
+    assert fast_pipeline_enabled()
+    monkeypatch.delenv(FAST_PIPELINE_ENV)
+    assert fast_pipeline_enabled()   # on by default
+
+
+# ---------------------------------------------------------------------------
+# baseline + DLA equivalence across the three golden sections
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("section", sorted(SECTION_KERNELS))
+def test_baseline_compiled_matches_reference(prepared, monkeypatch, section):
+    _, warmup, timed, _, _ = prepared[SECTION_KERNELS[section]]
+    config = _harness.SYSTEM_PROFILES[section]()
+    _reference(monkeypatch)
+    reference = _harness.capture_baseline(timed, warmup, config)
+    _fast(monkeypatch)
+    compiled = _harness.capture_baseline(timed, warmup, config)
+    assert compiled == reference
+
+
+@pytest.mark.parametrize("section", sorted(SECTION_KERNELS))
+@pytest.mark.parametrize("config_name", ["dla", "r3"])
+def test_dla_compiled_matches_reference(prepared, monkeypatch, section, config_name):
+    program, warmup, timed, profile, _ = prepared[SECTION_KERNELS[section]]
+    config = _harness.SYSTEM_PROFILES[section]()
+    dla_config = (
+        DlaConfig().baseline_dla() if config_name == "dla" else DlaConfig().r3()
+    )
+    _reference(monkeypatch)
+    reference = _harness.capture_dla(
+        program, timed, warmup, profile, config, dla_config
+    )
+    _fast(monkeypatch)
+    compiled = _harness.capture_dla(
+        program, timed, warmup, profile, config, dla_config
+    )
+    assert compiled == reference
+
+
+# ---------------------------------------------------------------------------
+# SMT cell (shared memory system, halved core, back-to-back pair)
+# ---------------------------------------------------------------------------
+def test_smt_cell_compiled_matches_reference(prepared, monkeypatch):
+    program, warmup, timed, profile, config = prepared["chase"]
+    trace = _harness.Emulator(program).run(
+        max_instructions=_harness.WARMUP + _harness.TIMED
+    )
+    _reference(monkeypatch)
+    reference = simulate_smt_modes(program, trace, profile, config)
+    _fast(monkeypatch)
+    compiled = simulate_smt_modes(program, trace, profile, config)
+    assert compiled.as_dict() == reference.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# round-trip: off -> on -> off produces one result, ticks only move when on
+# ---------------------------------------------------------------------------
+def test_fast_pipeline_round_trip(prepared, monkeypatch):
+    _, warmup, timed, _, config = prepared["branchy"]
+
+    _reference(monkeypatch)
+    before_off = compiled_ticks_total()
+    first_off = _harness.capture_baseline(timed, warmup, config)
+    assert compiled_ticks_total() == before_off, \
+        "the kill-switch must keep the compiled kernel out of the run"
+
+    _fast(monkeypatch)
+    on = _harness.capture_baseline(timed, warmup, config)
+
+    _reference(monkeypatch)
+    second_off = _harness.capture_baseline(timed, warmup, config)
+
+    assert first_off == on == second_off
+
+
+def test_compiled_ticks_counter_advances(prepared, monkeypatch):
+    if not kernel_available():
+        pytest.skip("no C compiler / kernel build failed: fast path inert")
+    _, warmup, timed, _, config = prepared["branchy"]
+    _fast(monkeypatch)
+    before = compiled_ticks_total()
+    _harness.capture_baseline(timed, warmup, config)
+    advanced = compiled_ticks_total() - before
+    assert advanced >= len(timed), \
+        "a compiled baseline run must retire the timed window via the kernel"
